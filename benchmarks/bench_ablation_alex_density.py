@@ -1,0 +1,68 @@
+"""Ablation — ALEX's density bounds: the space-for-performance dial.
+
+§IV-G: ALEX "wisely adopts the idea of paying some additional space ...
+for higher performance".  This ablation sweeps the gapped array's lower
+density bound (the post-expansion density): lower density = more gaps =
+more DRAM but fewer key moves and fewer retrains per insert.
+"""
+
+from _common import SMALL_N, dataset, run_once
+from repro import ALEXIndex, PerfContext
+from repro.bench import format_table, write_result
+from repro.workloads.ycsb import split_load_and_inserts
+
+LOWER_DENSITIES = (0.5, 0.6, 0.7)
+
+
+def run_density_ablation():
+    keys = dataset("ycsb", SMALL_N)
+    load, inserts = split_load_and_inserts(keys, 0.5, seed=34)
+    rows = []
+    metrics = []
+    for lower in LOWER_DENSITIES:
+        perf = PerfContext()
+        index = ALEXIndex(lower_density=lower, upper_density=0.8, perf=perf)
+        index.bulk_load([(k, k) for k in load])
+        mark = perf.begin()
+        for k in inserts:
+            index.insert(k, k)
+        insert_ns = perf.end(mark).time_ns / len(inserts)
+        stats = index.stats()
+        space = index.key_store_bytes()
+        metrics.append(
+            {
+                "lower": lower,
+                "insert_ns": insert_ns,
+                "retrains": stats.retrain_count,
+                "space": space,
+            }
+        )
+        rows.append(
+            [
+                lower,
+                f"{insert_ns:.0f}",
+                stats.retrain_count,
+                f"{space / (1 << 20):.2f}MB",
+            ]
+        )
+    table = format_table(
+        ["lower density", "insert (sim ns)", "retrains", "key store"],
+        rows,
+        title="Ablation — ALEX density bounds (space vs update performance)",
+    )
+    return table, metrics
+
+
+def test_ablation_alex_density(benchmark):
+    table, metrics = run_once(benchmark, run_density_ablation)
+    write_result("ablation_alex_density", table)
+    # More gaps (lower density) cost space...
+    spaces = [m["space"] for m in metrics]
+    assert spaces[0] > spaces[-1]
+    # ...and buy fewer retrains per insert.
+    assert metrics[0]["retrains"] <= metrics[-1]["retrains"]
+
+
+if __name__ == "__main__":
+    table, _ = run_density_ablation()
+    write_result("ablation_alex_density", table)

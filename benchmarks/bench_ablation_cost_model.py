@@ -1,0 +1,87 @@
+"""Ablation — are the reproduced rankings an artefact of the cost model?
+
+The whole reproduction rests on a calibrated event-cost model (DESIGN.md
+§2), so the conclusions must not hinge on the exact nanosecond constants.
+This ablation re-runs a compact read benchmark under strongly perturbed
+cost models — cache misses 2x cheaper/dearer, NVM 2x faster/slower, flat
+arithmetic — and asserts that the paper's headline orderings survive
+every perturbation.
+"""
+
+from _common import SMALL_N, dataset, run_once
+from repro import (
+    ALEXIndex,
+    BPlusTree,
+    PerfContext,
+    PGMIndex,
+    RMIIndex,
+    SkipList,
+    ViperStore,
+)
+from repro.bench import format_table, write_result
+from repro.perf import CostModel
+from repro.workloads import READ_ONLY, generate_operations
+
+PERTURBATIONS = {
+    "baseline": CostModel(),
+    "cheap-misses": CostModel(dram_hop_ns=45.0),
+    "dear-misses": CostModel(dram_hop_ns=180.0),
+    "fast-nvm": CostModel(nvm_read_ns=150.0, nvm_write_ns=50.0),
+    "slow-nvm": CostModel(nvm_read_ns=600.0, nvm_write_ns=200.0),
+    "dear-compare": CostModel(compare_ns=4.0),
+}
+
+INDEXES = {
+    "RMI": lambda perf: RMIIndex(perf=perf),
+    "PGM": lambda perf: PGMIndex(perf=perf),
+    "ALEX": lambda perf: ALEXIndex(perf=perf),
+    "BTree": lambda perf: BPlusTree(perf=perf),
+    "Skiplist": lambda perf: SkipList(perf=perf),
+}
+
+N_OPS_SMALL = 8000
+
+
+def run_cost_ablation():
+    keys = dataset("ycsb", SMALL_N)
+    ops = generate_operations(READ_ONLY, N_OPS_SMALL, keys, seed=33)
+    rows = []
+    ranking = {}
+    for label, cost_model in PERTURBATIONS.items():
+        mops = {}
+        for name, factory in INDEXES.items():
+            perf = PerfContext(cost_model)
+            store = ViperStore(factory(perf), perf)
+            store.bulk_load([(k, k) for k in keys])
+            mark = perf.begin()
+            for op in ops:
+                store.get(op.key)
+            measured = perf.end(mark)
+            mops[name] = len(ops) / measured.time_ns * 1e3
+            rows.append([label, name, f"{mops[name]:.3f}"])
+        ranking[label] = mops
+    table = format_table(
+        ["cost model", "index", "Mops/s"],
+        rows,
+        title="Ablation — ranking stability under cost-model perturbation",
+    )
+    return table, ranking
+
+
+def test_ablation_cost_model(benchmark):
+    table, ranking = run_once(benchmark, run_cost_ablation)
+    write_result("ablation_cost_model", table)
+    for label, mops in ranking.items():
+        # The paper's headline orderings hold under every perturbation.
+        assert mops["ALEX"] > mops["BTree"], f"{label}: ALEX vs BTree"
+        assert mops["PGM"] > mops["BTree"], f"{label}: PGM vs BTree"
+        assert mops["ALEX"] > mops["Skiplist"], f"{label}: ALEX vs Skiplist"
+        assert mops["BTree"] > mops["Skiplist"], f"{label}: BTree vs Skiplist"
+        assert (
+            mops["ALEX"] >= mops["RMI"] * 0.95
+        ), f"{label}: ALEX vs RMI"
+
+
+if __name__ == "__main__":
+    table, _ = run_cost_ablation()
+    write_result("ablation_cost_model", table)

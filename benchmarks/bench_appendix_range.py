@@ -1,0 +1,63 @@
+"""Appendix — range-query performance of the sorted indexes.
+
+The paper: "We evaluated the performance of a range query for learned
+indexes and included the results in the appendix."  Each operation is a
+YCSB-E style scan: position at a random key, read the next 50 records
+through the store.  Expected shape: scan cost = positioning cost (where
+the indexes differ) + sequential record reads (where they do not), so the
+read-only ranking compresses but survives; CCEH cannot serve scans.
+"""
+
+import random
+
+from _common import SMALL_N, READ_CASE, dataset, loaded_store, run_once
+from repro.bench import format_table, write_result
+from repro.errors import UnsupportedOperationError
+
+SCAN_LENGTH = 50
+N_SCANS = 3000
+
+
+def run_range():
+    keys = dataset("ycsb", SMALL_N)
+    rng = random.Random(35)
+    starts = rng.sample(keys, N_SCANS)
+    rows = []
+    results = {}
+    for name, factory in READ_CASE.items():
+        store, perf = loaded_store(factory, keys)
+        try:
+            mark = perf.begin()
+            for start in starts:
+                store.scan(start, SCAN_LENGTH)
+            measured = perf.end(mark)
+        except UnsupportedOperationError:
+            rows.append([name, "-", "unsupported"])
+            continue
+        per_scan = measured.time_ns / N_SCANS
+        results[name] = per_scan
+        rows.append([name, f"{per_scan / 1000:.2f}", "ok"])
+    table = format_table(
+        ["index", f"scan of {SCAN_LENGTH} (sim us)", "status"],
+        rows,
+        title="Appendix — range scans through the store",
+    )
+    return table, results
+
+
+def test_appendix_range(benchmark):
+    table, results = run_once(benchmark, run_range)
+    write_result("appendix_range", table)
+    # Hash indexes cannot scan; every sorted index can.
+    assert "CCEH" not in results
+    assert len(results) == len(READ_CASE) - 1
+    # Learned indexes still lead, but by less than on point reads:
+    # the 50 sequential record reads dominate.
+    assert results["ALEX"] < results["BTree"]
+    spread = max(results.values()) / min(results.values())
+    assert spread < 4.0, "scan costs should compress toward the NVM floor"
+
+
+if __name__ == "__main__":
+    table, _ = run_range()
+    write_result("appendix_range", table)

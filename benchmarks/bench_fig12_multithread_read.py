@@ -1,0 +1,64 @@
+"""Fig 12 — multi-threaded read-only scaling (throughput + p99.9).
+
+Paper shape: CCEH achieves the highest aggregate throughput; ALEX's curve
+flattens early — "ALEX has already saturated the memory bandwidth with 24
+threads in one socket" — and the tails of the comparison-heavy indexes
+inflate as threads contend.
+
+Method: single-thread simulated cost + measured bytes/op per index are
+projected through the shared-bandwidth model (DESIGN.md §2).
+"""
+
+from _common import N_OPS, READ_CASE, SMALL_N, dataset, loaded_store, run_once
+from repro.bench import format_table, run_store_ops, thread_scaling, write_result
+from repro.workloads import READ_ONLY, generate_operations
+
+THREADS = (1, 2, 4, 8, 16, 24, 32)
+
+
+def run_multithread_read():
+    keys = dataset("ycsb", SMALL_N)
+    ops = generate_operations(READ_ONLY, N_OPS, keys, seed=12)
+    rows = []
+    curves = {}
+    for name, factory in READ_CASE.items():
+        store, perf = loaded_store(factory, keys)
+        recorder, bytes_per_op = run_store_ops(store, ops, perf)
+        scaling = thread_scaling(
+            recorder.mean(), recorder.p999(), bytes_per_op, THREADS
+        )
+        curves[name] = scaling
+        for point in scaling:
+            rows.append(
+                [
+                    name,
+                    point["threads"],
+                    f"{point['throughput_mops']:.2f}",
+                    f"{point['p999_ns'] / 1000:.2f}",
+                    f"{point['slowdown']:.2f}",
+                ]
+            )
+    table = format_table(
+        ["index", "threads", "Mops/s", "p99.9 (us)", "bw slowdown"],
+        rows,
+        title="Fig 12 — multi-threaded read-only (bandwidth-model projection)",
+    )
+    return table, curves
+
+
+def test_fig12_multithread_read(benchmark):
+    table, curves = run_once(benchmark, run_multithread_read)
+    write_result("fig12_multithread_read", table)
+    # CCEH is the aggregate-throughput ceiling at full thread count.
+    at32 = {n: c[-1]["throughput_mops"] for n, c in curves.items()}
+    assert at32["CCEH"] == max(at32.values())
+    # ALEX saturates the memory bandwidth around 24 threads (the paper's
+    # profiling result): adding threads past that gains almost nothing.
+    alex = {p["threads"]: p["throughput_mops"] for p in curves["ALEX"]}
+    assert alex[32] < alex[24] * 1.1
+    assert curves["ALEX"][-1]["slowdown"] > 1.0
+
+
+if __name__ == "__main__":
+    table, _ = run_multithread_read()
+    write_result("fig12_multithread_read", table)

@@ -1,0 +1,78 @@
+"""Fig 14 — multi-threaded write-only: XIndex vs. traditional indexes.
+
+Among the learned indexes only XIndex supports concurrent writes
+(Table I), so the paper plots it against the traditional indexes.  Shape:
+XIndex's scaling "is similar to that of Masstree — overall, XIndex's
+performance is close to traditional indexes".
+"""
+
+from _common import (
+    SMALL_N,
+    TRADITIONAL,
+    CCEH_FACTORY,
+    dataset,
+    loaded_store,
+    run_once,
+)
+from repro import XIndexIndex
+from repro.bench import format_table, run_store_ops, thread_scaling, write_result
+from repro.workloads import WRITE_ONLY, generate_operations
+from repro.workloads.ycsb import split_load_and_inserts
+
+THREADS = (1, 2, 4, 8, 16, 24, 32)
+
+CONCURRENT_WRITERS = {
+    "XIndex": lambda perf: XIndexIndex(perf=perf),
+    **TRADITIONAL,
+    **CCEH_FACTORY,
+}
+
+
+def run_multithread_write():
+    keys = dataset("ycsb", SMALL_N)
+    load, inserts = split_load_and_inserts(keys, 0.5, seed=14)
+    ops = generate_operations(
+        WRITE_ONLY, len(inserts) - 1, load, inserts, seed=14
+    )
+    rows = []
+    curves = {}
+    for name, factory in CONCURRENT_WRITERS.items():
+        store, perf = loaded_store(factory, load)
+        recorder, bytes_per_op = run_store_ops(store, ops, perf)
+        scaling = thread_scaling(
+            recorder.mean(), recorder.p999(), bytes_per_op, THREADS
+        )
+        curves[name] = scaling
+        for point in scaling:
+            rows.append(
+                [
+                    name,
+                    point["threads"],
+                    f"{point['throughput_mops']:.2f}",
+                    f"{point['p999_ns'] / 1000:.2f}",
+                ]
+            )
+    table = format_table(
+        ["index", "threads", "Mops/s", "p99.9 (us)"],
+        rows,
+        title="Fig 14 — multi-threaded write-only (bandwidth-model projection)",
+    )
+    return table, curves
+
+
+def test_fig14_multithread_write(benchmark):
+    table, curves = run_once(benchmark, run_multithread_write)
+    write_result("fig14_multithread_write", table)
+    # XIndex lands inside the traditional indexes' band at every count.
+    for i, t in enumerate(THREADS):
+        trad = [
+            curves[n][i]["throughput_mops"]
+            for n in ("BTree", "Skiplist", "Masstree", "Bwtree", "Wormhole")
+        ]
+        x = curves["XIndex"][i]["throughput_mops"]
+        assert min(trad) * 0.5 <= x <= max(trad) * 1.5
+
+
+if __name__ == "__main__":
+    table, _ = run_multithread_write()
+    write_result("fig14_multithread_write", table)

@@ -1,0 +1,70 @@
+"""Fig 16 — index build/recovery time after a crash (two sizes).
+
+Recovery = scan every NVM record + rebuild the DRAM index.  Paper shape:
+Stx-BTree and Wormhole recover fastest; RS is the fastest *learned* index
+("it only needs Single-Pass to recover"); PGM is moderate; ALEX and
+XIndex are the slowest (gap redistribution / group construction), and the
+spread widens with the dataset.
+"""
+
+from _common import (
+    LARGE_N,
+    READ_CASE,
+    SIZE_LABELS,
+    SMALL_N,
+    dataset,
+    run_once,
+)
+from repro import BPlusTree, PerfContext, ViperStore
+from repro.bench import format_table, write_result
+
+
+def run_recovery():
+    rows = []
+    times = {}
+    for n in (SMALL_N, LARGE_N):
+        keys = dataset("ycsb", n)
+        items = [(k, k) for k in keys]
+        for name, factory in READ_CASE.items():
+            # Stage the records once with a cheap index, then crash and
+            # measure recovery with the index under test.
+            perf = PerfContext()
+            store = ViperStore(BPlusTree(perf=perf), perf)
+            store.bulk_load(items)
+            store.crash()
+            elapsed_ns = store.recover(lambda: factory(perf))
+            times[(n, name)] = elapsed_ns
+            rows.append(
+                [
+                    SIZE_LABELS[n],
+                    name,
+                    f"{elapsed_ns / 1e6:.2f}",
+                ]
+            )
+    table = format_table(
+        ["size", "index", "recovery (sim ms)"],
+        rows,
+        title="Fig 16 — crash recovery: NVM scan + index rebuild",
+    )
+    return table, times
+
+
+def test_fig16_recovery(benchmark):
+    table, times = run_once(benchmark, run_recovery)
+    write_result("fig16_recovery", table)
+    large = {name: t for (n, name), t in times.items() if n == LARGE_N}
+    # RS recovers fastest among the learned indexes.
+    for other in ("RMI", "PGM", "ALEX", "XIndex", "FITing-tree"):
+        assert large["RS"] < large[other]
+    # ALEX and XIndex are the slowest learned indexes.
+    for fast in ("RS", "PGM", "FITing-tree"):
+        assert large["ALEX"] > large[fast]
+        assert large["XIndex"] > large[fast]
+    # Traditional BTree beats every learned index.
+    for learned in ("RMI", "RS", "PGM", "ALEX", "XIndex", "FITing-tree"):
+        assert large["BTree"] < large[learned]
+
+
+if __name__ == "__main__":
+    table, _ = run_recovery()
+    write_result("fig16_recovery", table)

@@ -1,0 +1,76 @@
+"""Fig 17(b) — approximation algorithms: average error vs. leaf count.
+
+Paper shape: passive approximators trade error against segment count
+along a curve (Opt-PLA strictly dominating LSA); LSA-gap breaks the
+trade-off — "LSA-gap can ensure a minor error and a smaller number of
+segments simultaneously".
+"""
+
+from _common import SMALL_N, dataset, run_once
+from repro.bench import format_table, write_result
+from repro.core.approximation import (
+    LSAApproximator,
+    LSAGapApproximator,
+    OptPLAApproximator,
+)
+
+SWEEPS = [
+    ("LSA", lambda p: LSAApproximator(segment_size=p),
+     (64, 128, 256, 512, 1024, 2048, 4096, 8192)),
+    ("Opt-PLA", lambda p: OptPLAApproximator(eps=p),
+     (2, 4, 8, 16, 32, 64, 128, 256)),
+    ("LSA-gap", lambda p: LSAGapApproximator(segment_size=p, density=0.7),
+     (64, 128, 256, 512, 1024, 2048, 4096, 8192)),
+]
+
+
+def run_fig17b():
+    keys = list(dataset("ycsb", SMALL_N))
+    rows = []
+    series = {}
+    for name, make, params in SWEEPS:
+        points = []
+        for param in params:
+            approx = make(param).fit(keys)
+            points.append((approx.avg_error, approx.leaf_count))
+            rows.append(
+                [name, param, f"{approx.avg_error:.2f}", approx.leaf_count]
+            )
+        series[name] = points
+    table = format_table(
+        ["algorithm", "param", "avg error", "leaves"],
+        rows,
+        title="Fig 17(b) — error vs number of leaves",
+    )
+    return table, series
+
+
+def _leaves_at_error(points, target):
+    """Smallest leaf count achieving avg error <= target."""
+    feasible = [leaves for err, leaves in points if err <= target]
+    return min(feasible) if feasible else None
+
+
+def test_fig17b(benchmark):
+    table, series = run_once(benchmark, run_fig17b)
+    write_result("fig17b_error_vs_leaves", table)
+    # Opt-PLA needs no more leaves than LSA at any error budget.
+    for target in (4.0, 16.0, 64.0):
+        lsa = _leaves_at_error(series["LSA"], target)
+        opt = _leaves_at_error(series["Opt-PLA"], target)
+        assert opt is not None and lsa is not None
+        assert opt <= lsa, f"Opt-PLA worse than LSA at error {target}"
+    # LSA-gap breaks the trade-off: at a tight error budget it needs far
+    # fewer leaves than either passive algorithm.
+    target = 2.0
+    gap = _leaves_at_error(series["LSA-gap"], target)
+    opt = _leaves_at_error(series["Opt-PLA"], target)
+    lsa = _leaves_at_error(series["LSA"], target)
+    assert gap is not None
+    assert opt is None or gap < opt / 4
+    assert lsa is None or gap < lsa / 4
+
+
+if __name__ == "__main__":
+    table, _ = run_fig17b()
+    write_result("fig17b_error_vs_leaves", table)

@@ -1,0 +1,80 @@
+"""Fig 17(c) — internal structures: leaf count vs. root-to-leaf query time.
+
+Paper shape: ATS has the minimum query time at every leaf count (variable
+depth — hot paths are short); LRS ~ BTREE at few leaves but clearly
+faster at many leaves (calculation beats comparison); fewer leaves is
+cheaper for every structure.
+"""
+
+import random
+
+from _common import SMALL_N, dataset, run_once
+from repro.bench import format_table, write_result
+from repro.core.structures import (
+    ATSStructure,
+    BTreeStructure,
+    LRSStructure,
+    RMIStructure,
+)
+from repro.perf import PerfContext
+
+LEAF_COUNTS = (500, 2_000, 10_000, 40_000)
+N_PROBES = 3000
+
+STRUCTURES = [
+    ("RMI", lambda perf: RMIStructure(branching=1024, perf=perf)),
+    ("ATS", lambda perf: ATSStructure(max_node_fences=32, perf=perf)),
+    ("BTREE", lambda perf: BTreeStructure(fanout=16, perf=perf)),
+    ("LRS", lambda perf: LRSStructure(eps=4, perf=perf)),
+]
+
+
+def run_fig17c():
+    keys = list(dataset("ycsb", SMALL_N))
+    rng = random.Random(18)
+    probes = rng.sample(keys, N_PROBES)
+    rows = []
+    series = {}
+    for name, make in STRUCTURES:
+        points = []
+        for leaves in LEAF_COUNTS:
+            step = max(1, len(keys) // leaves)
+            fences = keys[::step][:leaves]
+            perf = PerfContext()
+            structure = make(perf)
+            structure.build(fences)
+            mark = perf.begin()
+            for key in probes:
+                structure.lookup(key)
+            cost = perf.end(mark).time_ns / len(probes)
+            points.append((len(fences), cost))
+            rows.append([name, len(fences), f"{cost:.0f}"])
+        series[name] = points
+    table = format_table(
+        ["structure", "leaves", "lookup (sim ns)"],
+        rows,
+        title="Fig 17(c) — internal structure query time vs leaf count",
+    )
+    return table, series
+
+
+def test_fig17c(benchmark):
+    table, series = run_once(benchmark, run_fig17c)
+    write_result("fig17c_structures", table)
+    # ATS is the cheapest structure at every leaf count.
+    for i in range(len(LEAF_COUNTS)):
+        ats = series["ATS"][i][1]
+        for other in ("RMI", "BTREE", "LRS"):
+            assert ats <= series[other][i][1] * 1.05, (
+                f"ATS not fastest at {LEAF_COUNTS[i]} leaves vs {other}"
+            )
+    # LRS beats BTREE when there are many leaves.
+    assert series["LRS"][-1][1] < series["BTREE"][-1][1]
+    # Every structure is slower with more leaves.
+    for name, points in series.items():
+        assert points[0][1] < points[-1][1], f"{name} not monotonic"
+
+
+if __name__ == "__main__":
+    table, _ = run_fig17c()
+    write_result("fig17c_structures", table)

@@ -1,0 +1,94 @@
+"""Fig 18(b) — retraining strategies over a long insert stream.
+
+Paper shape (summarised in §IV-E):
+
+* ALEX has by far the fewest retrains, the longest average retrain, and
+  the shortest total retraining time;
+* PGM has the shortest average retrain time (small LSM merges) but many
+  of them;
+* FITing-tree retrains often and accumulates the longest total time.
+"""
+
+from _common import SMALL_N, dataset, run_once
+from repro import ALEXIndex, DynamicPGMIndex, FITingTree, PerfContext
+from repro.bench import format_table, write_result
+from repro.workloads.ycsb import split_load_and_inserts
+
+#: FITing-tree is configured at its intended node scale for the
+#: retraining study: large error-bounded segments with a small per-node
+#: buffer, so each buffer flush rebuilds a whole (big) node — the cost
+#: structure behind the paper's "FITing-tree has the longest total time".
+CANDIDATES = {
+    "FITing-tree": lambda perf: FITingTree(
+        strategy="buffer", eps=64, buffer_capacity=128, perf=perf
+    ),
+    "PGM": lambda perf: DynamicPGMIndex(perf=perf),
+    "ALEX": lambda perf: ALEXIndex(perf=perf),
+}
+
+
+def _retrain_stats(index):
+    if isinstance(index, DynamicPGMIndex):
+        return index.retrain_stats
+    return index.retraining.stats
+
+
+def run_fig18b():
+    keys = dataset("ycsb", SMALL_N)
+    load, inserts = split_load_and_inserts(keys, 0.5, seed=21)
+    rows = []
+    metrics = {}
+    for name, factory in CANDIDATES.items():
+        perf = PerfContext()
+        index = factory(perf)
+        index.bulk_load([(k, k) for k in load])
+        for k in inserts:
+            index.insert(k, k)
+        stats = _retrain_stats(index)
+        inserts_per_retrain = len(inserts) / max(1, stats.count)
+        metrics[name] = {
+            "count": stats.count,
+            "avg_ns": stats.avg_time_ns(),
+            "total_ns": stats.time_ns,
+            "per_retrain": inserts_per_retrain,
+        }
+        rows.append(
+            [
+                name,
+                stats.count,
+                f"{inserts_per_retrain:.0f}",
+                f"{stats.avg_time_ns() / 1000:.1f}",
+                f"{stats.time_ns / 1e6:.2f}",
+            ]
+        )
+    table = format_table(
+        [
+            "index",
+            "retrains",
+            "inserts/retrain",
+            "avg retrain (sim us)",
+            "total retrain (sim ms)",
+        ],
+        rows,
+        title=f"Fig 18(b) — retraining over {SMALL_N // 2} inserts",
+    )
+    return table, metrics
+
+
+def test_fig18b(benchmark):
+    table, metrics = run_once(benchmark, run_fig18b)
+    write_result("fig18b_retraining", table)
+    # ALEX retrains the least often.
+    assert metrics["ALEX"]["count"] < metrics["PGM"]["count"]
+    assert metrics["ALEX"]["count"] < metrics["FITing-tree"]["count"]
+    # PGM has the cheapest average retrain; ALEX the most expensive.
+    assert metrics["PGM"]["avg_ns"] < metrics["FITing-tree"]["avg_ns"]
+    assert metrics["ALEX"]["avg_ns"] > metrics["PGM"]["avg_ns"]
+    # ALEX has the smallest total retraining time.
+    assert metrics["ALEX"]["total_ns"] < metrics["PGM"]["total_ns"]
+    assert metrics["ALEX"]["total_ns"] < metrics["FITing-tree"]["total_ns"]
+
+
+if __name__ == "__main__":
+    table, _ = run_fig18b()
+    write_result("fig18b_retraining", table)

@@ -1,0 +1,68 @@
+"""Fig 18(c) — buffer reserve size vs. retraining count / times.
+
+Paper shape: "as reserved space increases, the number of retraining
+decreases ... the average retraining time increases while the total time
+decreases".
+"""
+
+from _common import SMALL_N, dataset, run_once
+from repro import FITingTree, PerfContext
+from repro.bench import format_table, write_result
+from repro.workloads.ycsb import split_load_and_inserts
+
+RESERVES = (128, 256, 512, 1024)
+
+
+def run_fig18c():
+    keys = dataset("ycsb", SMALL_N)
+    load, inserts = split_load_and_inserts(keys, 0.5, seed=22)
+    rows = []
+    metrics = []
+    for reserve in RESERVES:
+        perf = PerfContext()
+        index = FITingTree(
+            strategy="buffer", eps=64, buffer_capacity=reserve, perf=perf
+        )
+        index.bulk_load([(k, k) for k in load])
+        for k in inserts:
+            index.insert(k, k)
+        stats = index.retraining.stats
+        metrics.append(
+            {
+                "reserve": reserve,
+                "count": stats.count,
+                "avg_ns": stats.avg_time_ns(),
+                "total_ns": stats.time_ns,
+            }
+        )
+        rows.append(
+            [
+                reserve,
+                stats.count,
+                f"{stats.avg_time_ns() / 1000:.1f}",
+                f"{stats.time_ns / 1e6:.2f}",
+            ]
+        )
+    table = format_table(
+        ["reserve", "retrains", "avg retrain (sim us)", "total retrain (sim ms)"],
+        rows,
+        title=f"Fig 18(c) — buffer reserve sweep over {len(inserts)} inserts",
+    )
+    return table, metrics
+
+
+def test_fig18c(benchmark):
+    table, metrics = run_once(benchmark, run_fig18c)
+    write_result("fig18c_buffer_sweep", table)
+    counts = [m["count"] for m in metrics]
+    avgs = [m["avg_ns"] for m in metrics]
+    totals = [m["total_ns"] for m in metrics]
+    # More reserve => fewer retrains, each bigger, lower total.
+    assert counts == sorted(counts, reverse=True)
+    assert avgs == sorted(avgs)
+    assert totals[-1] < totals[0]
+
+
+if __name__ == "__main__":
+    table, _ = run_fig18c()
+    write_result("fig18c_buffer_sweep", table)

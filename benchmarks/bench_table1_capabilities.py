@@ -1,0 +1,78 @@
+"""Table I — technology comparison of learned indexes.
+
+Regenerated directly from each implementation's ``capabilities()``, so the
+matrix can never drift from the code.
+"""
+
+from _common import run_once
+from repro import (
+    ALEXIndex,
+    DynamicPGMIndex,
+    FITingTree,
+    RMIIndex,
+    RadixSplineIndex,
+    XIndexIndex,
+)
+from repro.bench import format_table, write_result
+
+ROW_ORDER = [
+    ("RMI", RMIIndex),
+    ("RS", RadixSplineIndex),
+    ("FITing-tree", FITingTree),
+    ("PGM-Index", DynamicPGMIndex),
+    ("ALEX", ALEXIndex),
+    ("XIndex", XIndexIndex),
+]
+
+
+def run_table1():
+    rows = []
+    caps = {}
+    for name, cls in ROW_ORDER:
+        c = cls.capabilities()
+        caps[name] = c
+        rows.append(
+            [
+                name,
+                c.inner_node,
+                c.leaf_node,
+                "Maximum" if c.bounded_error else "Unfixed",
+                c.approximation,
+                c.insertion,
+                c.retraining,
+                "yes" if c.concurrent_write else "no",
+            ]
+        )
+    table = format_table(
+        [
+            "index",
+            "inner node",
+            "leaf node",
+            "error",
+            "approximation",
+            "insertion",
+            "retraining",
+            "conc. write",
+        ],
+        rows,
+        title="Table I — technology comparison of learned indexes",
+    )
+    return table, caps
+
+
+def test_table1(benchmark):
+    table, caps = run_once(benchmark, run_table1)
+    write_result("table1_capabilities", table)
+    # The paper's Table I facts.
+    assert not caps["RMI"].updatable and not caps["RS"].updatable
+    assert caps["FITing-tree"].bounded_error
+    assert caps["PGM-Index"].bounded_error
+    assert not caps["ALEX"].bounded_error
+    assert not caps["XIndex"].bounded_error
+    only_concurrent = [n for n, c in caps.items() if c.concurrent_write]
+    assert only_concurrent == ["XIndex"]
+
+
+if __name__ == "__main__":
+    table, _ = run_table1()
+    write_result("table1_capabilities", table)

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""How the key distribution makes or breaks a learned index.
+
+The paper's second headline finding: learned-index performance "is much
+easier to be affected by the key distribution of stored data" than
+traditional indexes.  This example runs the same read workload over four
+synthetic datasets — smooth (ycsb), complex (osm-like), skewed (face-like)
+and uniform — and shows each index's sensitivity, including RadixSpline's
+collapse on skew (the paper's Fig 11).
+
+Run:  python examples/dataset_sensitivity.py
+"""
+
+import random
+
+from repro import (
+    ALEXIndex,
+    BPlusTree,
+    PerfContext,
+    PGMIndex,
+    RadixSplineIndex,
+    RMIIndex,
+    face_keys,
+    osm_keys,
+    uniform_keys,
+    ycsb_keys,
+)
+from repro.bench import format_table
+from repro.core.approximation import OptPLAApproximator
+
+N = 50_000
+
+DATASETS = {
+    "ycsb (smooth)": ycsb_keys,
+    "osm (complex)": osm_keys,
+    "face (skewed)": face_keys,
+    "uniform": uniform_keys,
+}
+
+INDEXES = {
+    "RMI": lambda perf: RMIIndex(perf=perf),
+    "RS": lambda perf: RadixSplineIndex(eps=8, r_bits=8, perf=perf),
+    "PGM": lambda perf: PGMIndex(perf=perf),
+    "ALEX": lambda perf: ALEXIndex(perf=perf),
+    "BTree": lambda perf: BPlusTree(perf=perf),
+}
+
+
+def main() -> None:
+    rows = []
+    for ds_name, maker in DATASETS.items():
+        keys = maker(N, seed=5)
+        # How hard is this CDF?  Count the bounded-error segments it needs.
+        complexity = OptPLAApproximator(eps=64).fit(keys).leaf_count
+        rng = random.Random(5)
+        probes = rng.sample(keys, 5_000)
+        for idx_name, factory in INDEXES.items():
+            perf = PerfContext()
+            index = factory(perf)
+            index.bulk_load([(k, k) for k in keys])
+            mark = perf.begin()
+            for key in probes:
+                index.get(key)
+            cost = perf.end(mark).time_ns / len(probes)
+            rows.append([ds_name, complexity, idx_name, f"{cost:.0f}"])
+
+    print(
+        format_table(
+            ["dataset", "PLA segments", "index", "lookup (sim ns)"],
+            rows,
+            title=f"Distribution sensitivity over {N:,} keys",
+        )
+    )
+    print(
+        "\nThings to notice:"
+        "\n * the BTree column barely moves across datasets;"
+        "\n * every learned index pays on 'osm' (more segments = deeper"
+        "\n   structures and bigger errors);"
+        "\n * RS collapses on 'face': nearly all keys share one radix"
+        "\n   prefix, so its table stops discriminating (paper Fig 11)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: a learned index inside an NVM key-value store.
+
+Builds a Viper-style store over an ALEX learned index, loads 100K keys,
+runs point reads, inserts, updates and a range scan, and reports the
+simulated hardware cost of each phase.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import ALEXIndex, PerfContext, ViperStore, ycsb_keys
+
+
+def main() -> None:
+    # Every index charges abstract hardware events (cache misses, key
+    # comparisons, NVM block accesses) into a PerfContext; the cost model
+    # turns them into simulated nanoseconds.
+    perf = PerfContext()
+    store = ViperStore(ALEXIndex(perf=perf), perf)
+
+    print("== load ==")
+    keys = ycsb_keys(100_000, seed=7)
+    mark = perf.begin()
+    store.bulk_load([(k, f"value-{k}") for k in keys])
+    build = perf.end(mark)
+    print(f"loaded {len(store):,} records "
+          f"in {build.time_ns / 1e6:.2f} simulated ms")
+
+    print("\n== point reads ==")
+    rng = random.Random(42)
+    sample = rng.sample(keys, 10_000)
+    mark = perf.begin()
+    for key in sample:
+        assert store.get(key) == f"value-{key}"
+    reads = perf.end(mark)
+    per_read = reads.time_ns / len(sample)
+    print(f"{len(sample):,} reads, {per_read:.0f} ns each "
+          f"({1e3 / per_read:.2f} Mops/s simulated)")
+
+    print("\n== inserts and updates ==")
+    fresh = [k + 1 for k in rng.sample(keys, 5_000) if k + 1 not in set(keys)]
+    mark = perf.begin()
+    for key in fresh:
+        store.put(key, "new")
+    for key in sample[:2_000]:
+        store.put(key, "updated")
+    writes = perf.end(mark)
+    n_writes = len(fresh) + 2_000
+    print(f"{n_writes:,} writes, {writes.time_ns / n_writes:.0f} ns each")
+    assert store.get(sample[0]) == "updated"
+
+    print("\n== range scan ==")
+    start = keys[len(keys) // 2]
+    mark = perf.begin()
+    rows = store.scan(start, 100)
+    scan = perf.end(mark)
+    print(f"scan of {len(rows)} records cost {scan.time_ns / 1e3:.2f} us")
+
+    print("\n== index internals ==")
+    stats = store.index.stats()
+    print(f"leaves={stats.leaf_count}  avg depth={stats.depth_avg:.2f}  "
+          f"retrains so far={stats.retrain_count}")
+    print(f"index structure size: {store.index.size_bytes() / 1024:.1f} KB "
+          f"for {len(store):,} records")
+
+    print("\n== crash and recovery ==")
+    store.crash()
+    elapsed = store.recover(lambda: ALEXIndex(perf=perf))
+    print(f"recovered {len(store):,} records "
+          f"in {elapsed / 1e6:.2f} simulated ms")
+    assert store.get(sample[0]) == "updated"
+    print("\nall good.")
+
+
+if __name__ == "__main__":
+    main()

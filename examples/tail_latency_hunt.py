@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Hunting a learned index's tail latency with the event profiler.
+
+The paper explains RMI's bad tail ("much larger than PGM-Index") by its
+unbounded prediction error.  This example *shows* that mechanism: profile
+the same read workload on RMI and PGM over the complex OSM-like dataset,
+split each index's time by hardware event, and inspect the single worst
+operation each index served.
+
+Run:  python examples/tail_latency_hunt.py
+"""
+
+import random
+
+from repro import PGMIndex, PerfContext, RMIIndex, osm_keys
+from repro.perf import Profiler
+
+N = 60_000
+N_PROBES = 8_000
+
+
+def profile_index(name, factory, keys, probes):
+    perf = PerfContext()
+    index = factory(perf)
+    index.bulk_load([(k, k) for k in keys])
+    profiler = Profiler(perf)
+    for key in probes:
+        with profiler.operation(f"{name} get({key})"):
+            index.get(key)
+    return profiler
+
+
+def main() -> None:
+    keys = osm_keys(N, seed=13)
+    rng = random.Random(13)
+    probes = rng.sample(keys, N_PROBES)
+
+    print("dataset: OSM-like (complex CDF), "
+          f"{N:,} keys, {N_PROBES:,} point reads\n")
+
+    profilers = {
+        "RMI (unbounded error)": profile_index(
+            "rmi", lambda p: RMIIndex(perf=p), keys, probes
+        ),
+        "PGM (error <= eps)": profile_index(
+            "pgm", lambda p: PGMIndex(perf=p), keys, probes
+        ),
+    }
+
+    for name, profiler in profilers.items():
+        print(f"== {name} ==")
+        print(profiler.explain())
+        worst = profiler.worst(3)
+        print("three worst ops:")
+        for op in worst:
+            probes_paid = op.counters.compare
+            print(
+                f"  {op.time_ns:7.0f} ns  "
+                f"{op.counters.dram_hop:3d} cache misses, "
+                f"{probes_paid:3d} comparisons  <- {op.label}"
+            )
+        print()
+
+    rmi_worst = profilers["RMI (unbounded error)"].worst(1)[0].time_ns
+    pgm_worst = profilers["PGM (error <= eps)"].worst(1)[0].time_ns
+    print(
+        f"worst-case ratio RMI/PGM = {rmi_worst / pgm_worst:.1f}x — the\n"
+        "unbounded second-stage error turns into a long correction search\n"
+        "(each wide probe is a cache miss), which is exactly the paper's\n"
+        "explanation for RMI's tail in Fig 10(b)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""repro — reproduction of "Cutting Learned Index into Pieces" (ICDE 2023).
+
+Quickstart::
+
+    from repro import ALEXIndex, PerfContext, ViperStore, ycsb_keys
+
+    perf = PerfContext()
+    store = ViperStore(ALEXIndex(perf=perf), perf)
+    keys = ycsb_keys(100_000)
+    store.bulk_load([(k, f"value-{k}") for k in keys])
+    store.get(keys[0])
+    print(f"simulated time so far: {perf.elapsed_ns() / 1e6:.2f} ms")
+
+Subpackages:
+
+* :mod:`repro.core` — the four design dimensions, recombinable.
+* :mod:`repro.learned` — RMI, RadixSpline, FITing-tree, PGM, ALEX, XIndex.
+* :mod:`repro.traditional` — B+tree, Skiplist, Masstree, Bw-tree,
+  Wormhole, CCEH.
+* :mod:`repro.store` — the Viper-like NVM key-value store.
+* :mod:`repro.workloads` — datasets and YCSB workloads.
+* :mod:`repro.perf` — the deterministic cost-model simulator.
+* :mod:`repro.bench` — measurement harness.
+"""
+
+from repro.core import ComposedIndex
+from repro.learned import (
+    ALEXIndex,
+    APEXIndex,
+    DynamicPGMIndex,
+    FINEdexIndex,
+    FITingTree,
+    LIPPIndex,
+    PGMIndex,
+    RadixSplineIndex,
+    RMIIndex,
+    XIndexIndex,
+)
+from repro.perf import BandwidthModel, CostModel, PerfContext
+from repro.store import PMemDevice, ViperStore
+from repro.traditional import CCEH, BPlusTree, BwTree, Masstree, SkipList, Wormhole
+from repro.workloads import (
+    face_keys,
+    osm_keys,
+    sequential_keys,
+    uniform_keys,
+    ycsb_keys,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ComposedIndex",
+    "ALEXIndex",
+    "APEXIndex",
+    "DynamicPGMIndex",
+    "FITingTree",
+    "FINEdexIndex",
+    "PGMIndex",
+    "RadixSplineIndex",
+    "RMIIndex",
+    "XIndexIndex",
+    "LIPPIndex",
+    "BandwidthModel",
+    "CostModel",
+    "PerfContext",
+    "PMemDevice",
+    "ViperStore",
+    "CCEH",
+    "BPlusTree",
+    "BwTree",
+    "Masstree",
+    "SkipList",
+    "Wormhole",
+    "face_keys",
+    "osm_keys",
+    "sequential_keys",
+    "uniform_keys",
+    "ycsb_keys",
+    "__version__",
+]

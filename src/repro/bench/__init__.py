@@ -1,0 +1,29 @@
+"""Benchmark harness: drive indexes/stores with workloads, report results.
+
+* :mod:`repro.bench.runner` — per-operation measurement loops for bare
+  indexes and for the Viper store, plus build/recovery measurement and the
+  multi-thread scaling model.
+* :mod:`repro.bench.metrics` — result records (throughput, tail latency).
+* :mod:`repro.bench.report` — fixed-width table rendering and result-file
+  output used by every ``benchmarks/bench_*`` module.
+"""
+
+from repro.bench.metrics import BenchResult
+from repro.bench.runner import (
+    measure_build,
+    run_index_ops,
+    run_store_ops,
+    thread_scaling,
+)
+from repro.bench.report import format_bars, format_table, write_result
+
+__all__ = [
+    "BenchResult",
+    "measure_build",
+    "run_index_ops",
+    "run_store_ops",
+    "thread_scaling",
+    "format_table",
+    "format_bars",
+    "write_result",
+]

@@ -1,0 +1,54 @@
+"""Benchmark result records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.perf.latency import LatencyRecorder
+
+
+@dataclass
+class BenchResult:
+    """One (index, workload) measurement in simulated time."""
+
+    index: str
+    workload: str
+    ops: int
+    throughput_mops: float
+    mean_ns: float
+    p50_ns: float
+    p99_ns: float
+    p999_ns: float
+    bytes_per_op: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_recorder(
+        cls,
+        index: str,
+        workload: str,
+        recorder: LatencyRecorder,
+        bytes_per_op: float = 0.0,
+        **extra,
+    ) -> "BenchResult":
+        return cls(
+            index=index,
+            workload=workload,
+            ops=len(recorder),
+            throughput_mops=recorder.throughput_mops(),
+            mean_ns=recorder.mean(),
+            p50_ns=recorder.p50(),
+            p99_ns=recorder.p99(),
+            p999_ns=recorder.p999(),
+            bytes_per_op=bytes_per_op,
+            extra=dict(extra),
+        )
+
+    def row(self) -> list:
+        """Default table row used by the figure benches."""
+        return [
+            self.index,
+            f"{self.throughput_mops:.2f}",
+            f"{self.p50_ns / 1000:.2f}",
+            f"{self.p999_ns / 1000:.2f}",
+        ]

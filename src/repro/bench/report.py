@@ -1,0 +1,69 @@
+"""Plain-text table rendering and benchmark result files."""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence
+
+#: Results are written here by every benchmark module so the paper-style
+#: tables survive pytest's output capturing.
+RESULTS_DIR = os.environ.get(
+    "REPRO_RESULTS_DIR",
+    os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))), "benchmarks", "results"),
+)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width table with a rule under the header."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_bars(
+    pairs: Sequence[tuple],
+    title: str = "",
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart — a text-mode stand-in for the paper's
+    figures.  ``pairs`` is ``[(label, value), ...]``; bars are scaled to
+    the maximum value."""
+    if not pairs:
+        raise ValueError("nothing to chart")
+    labels = [str(label) for label, _ in pairs]
+    values = [float(v) for _, v in pairs]
+    peak = max(values)
+    if peak <= 0:
+        raise ValueError("need at least one positive value")
+    label_w = max(len(s) for s in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(value / peak * width))
+        lines.append(f"{label.ljust(label_w)}  {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def write_result(name: str, text: str) -> str:
+    """Persist a rendered table under ``benchmarks/results/`` and echo it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as f:
+        f.write(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+    return path

@@ -1,0 +1,95 @@
+"""Measurement loops: run an operation stream, record simulated latencies."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+from repro.core.interfaces import Index
+from repro.perf.bandwidth import BandwidthModel
+from repro.perf.context import PerfContext
+from repro.perf.latency import LatencyRecorder
+from repro.store.viper import ViperStore
+from repro.workloads.ycsb import Operation, OpKind
+
+
+def run_index_ops(
+    index: Index, ops: Iterable[Operation], perf: PerfContext
+) -> Tuple[LatencyRecorder, float]:
+    """Execute ``ops`` against a bare index; returns (latencies, bytes/op)."""
+    recorder = LatencyRecorder()
+    total_bytes = 0
+    for op in ops:
+        mark = perf.begin()
+        if op.kind is OpKind.READ:
+            index.get(op.key)
+        elif op.kind is OpKind.UPDATE or op.kind is OpKind.INSERT:
+            index.insert(op.key, op.key)
+        elif op.kind is OpKind.RMW:
+            index.get(op.key)
+            index.insert(op.key, op.key)
+        elif op.kind is OpKind.SCAN:
+            index.scan(op.key, op.scan_length)
+        measured = perf.end(mark)
+        recorder.record(measured.time_ns)
+        total_bytes += measured.bytes
+    bytes_per_op = total_bytes / max(1, len(recorder))
+    return recorder, bytes_per_op
+
+
+def run_store_ops(
+    store: ViperStore, ops: Iterable[Operation], perf: PerfContext
+) -> Tuple[LatencyRecorder, float]:
+    """Execute ``ops`` end-to-end through the Viper store."""
+    recorder = LatencyRecorder()
+    total_bytes = 0
+    for op in ops:
+        mark = perf.begin()
+        if op.kind is OpKind.READ:
+            store.get(op.key)
+        elif op.kind is OpKind.UPDATE or op.kind is OpKind.INSERT:
+            store.put(op.key, op.key)
+        elif op.kind is OpKind.RMW:
+            value = store.get(op.key)
+            store.put(op.key, value)
+        elif op.kind is OpKind.SCAN:
+            store.scan(op.key, op.scan_length)
+        measured = perf.end(mark)
+        recorder.record(measured.time_ns)
+        total_bytes += measured.bytes
+    bytes_per_op = total_bytes / max(1, len(recorder))
+    return recorder, bytes_per_op
+
+
+def measure_build(
+    build: Callable[[], None], perf: PerfContext
+) -> float:
+    """Simulated nanoseconds taken by ``build()`` (bulk load / recovery)."""
+    mark = perf.begin()
+    build()
+    return perf.end(mark).time_ns
+
+
+def thread_scaling(
+    mean_ns: float,
+    p999_ns: float,
+    bytes_per_op: float,
+    threads: Sequence[int],
+    bandwidth: BandwidthModel = BandwidthModel(),
+) -> List[dict]:
+    """Project single-thread results onto N threads under a shared
+    memory-bandwidth pool (Figs 12 and 14)."""
+    rows = []
+    for t in threads:
+        rows.append(
+            {
+                "threads": t,
+                "throughput_mops": bandwidth.throughput_mops(
+                    t, bytes_per_op, mean_ns
+                ),
+                "p999_ns": bandwidth.tail_latency_ns(
+                    t, bytes_per_op, mean_ns, p999_ns
+                ),
+                "slowdown": bandwidth.slowdown(t, bytes_per_op, mean_ns),
+            }
+        )
+    return rows

@@ -1,0 +1,105 @@
+"""Hyper-parameter tuning, the way the paper did it.
+
+§III-A1: "We first separately evaluate the performance of each index with
+different hyperparameters and choose their configurations with the best
+performance."  :func:`grid_search` reproduces that step for any index:
+build one instance per parameter combination, replay a probe workload,
+and rank the combinations by simulated cost.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.core.interfaces import Index
+from repro.errors import InvalidConfigurationError
+from repro.perf.context import PerfContext
+
+
+@dataclass
+class Trial:
+    """One evaluated parameter combination."""
+
+    params: Dict[str, Any]
+    read_ns: float
+    insert_ns: float
+    build_ns: float
+    size_bytes: int
+
+    def score(self, read_weight: float = 1.0, insert_weight: float = 0.0) -> float:
+        return self.read_ns * read_weight + self.insert_ns * insert_weight
+
+
+@dataclass
+class TuningResult:
+    """Outcome of a grid search: the winner plus the full trial table."""
+
+    best: Trial
+    trials: List[Trial] = field(default_factory=list)
+
+    def ranked(self, **weights) -> List[Trial]:
+        return sorted(self.trials, key=lambda t: t.score(**weights))
+
+
+def grid_search(
+    factory: Callable[..., Index],
+    grid: Dict[str, Sequence[Any]],
+    items: Sequence[Tuple[int, Any]],
+    probe_keys: Sequence[int],
+    insert_items: Sequence[Tuple[int, Any]] = (),
+    read_weight: float = 1.0,
+    insert_weight: float = 0.0,
+) -> TuningResult:
+    """Evaluate every combination in ``grid`` and return the best.
+
+    ``factory(**params, perf=...)`` must build an index; each combination
+    is bulk-loaded with ``items``, probed with ``probe_keys`` and
+    optionally fed ``insert_items``.  Costs are simulated nanoseconds.
+    Combinations that raise ``InvalidConfigurationError`` are skipped
+    (grids may include values that only some indexes accept).
+    """
+    if not grid:
+        raise InvalidConfigurationError("grid must contain parameters")
+    if not probe_keys and not insert_items:
+        raise InvalidConfigurationError("nothing to measure")
+
+    names = list(grid)
+    trials: List[Trial] = []
+    for combo in itertools.product(*(grid[name] for name in names)):
+        params = dict(zip(names, combo))
+        perf = PerfContext()
+        try:
+            index = factory(**params, perf=perf)
+        except InvalidConfigurationError:
+            continue
+        mark = perf.begin()
+        index.bulk_load(items)
+        build_ns = perf.end(mark).time_ns
+
+        read_ns = 0.0
+        if probe_keys:
+            mark = perf.begin()
+            for key in probe_keys:
+                index.get(key)
+            read_ns = perf.end(mark).time_ns / len(probe_keys)
+
+        insert_ns = 0.0
+        if insert_items:
+            mark = perf.begin()
+            for key, value in insert_items:
+                index.insert(key, value)
+            insert_ns = perf.end(mark).time_ns / len(insert_items)
+
+        trials.append(
+            Trial(params, read_ns, insert_ns, build_ns, index.size_bytes())
+        )
+
+    if not trials:
+        raise InvalidConfigurationError("every grid combination was invalid")
+    best = min(
+        trials,
+        key=lambda t: t.score(read_weight=read_weight, insert_weight=insert_weight),
+    )
+    return TuningResult(best=best, trials=trials)

@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info`` — list every index with its Table-I capabilities.
+* ``bench`` — run one (index, workload, dataset) combination end-to-end
+  through the Viper store and print simulated throughput/latency.
+* ``datasets`` — summarise a synthetic dataset (and optionally dump keys).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Callable, Dict
+
+from repro import (
+    ALEXIndex,
+    APEXIndex,
+    BPlusTree,
+    BwTree,
+    CCEH,
+    DynamicPGMIndex,
+    FINEdexIndex,
+    FITingTree,
+    LIPPIndex,
+    Masstree,
+    PGMIndex,
+    PerfContext,
+    RMIIndex,
+    RadixSplineIndex,
+    SkipList,
+    ViperStore,
+    Wormhole,
+    XIndexIndex,
+)
+from repro.bench import format_table, run_store_ops
+from repro.workloads import generate_operations
+from repro.workloads.datasets import DATASETS
+from repro.workloads.ycsb import (
+    READ_ONLY,
+    STANDARD_WORKLOADS,
+    WRITE_ONLY,
+    split_load_and_inserts,
+)
+
+INDEXES: Dict[str, Callable[[PerfContext], object]] = {
+    "rmi": lambda perf: RMIIndex(perf=perf),
+    "rs": lambda perf: RadixSplineIndex(perf=perf),
+    "fiting-inp": lambda perf: FITingTree(strategy="inplace", perf=perf),
+    "fiting-buf": lambda perf: FITingTree(strategy="buffer", perf=perf),
+    "pgm": lambda perf: DynamicPGMIndex(perf=perf),
+    "pgm-static": lambda perf: PGMIndex(perf=perf),
+    "alex": lambda perf: ALEXIndex(perf=perf),
+    "xindex": lambda perf: XIndexIndex(perf=perf),
+    "lipp": lambda perf: LIPPIndex(perf=perf),
+    "apex": lambda perf: APEXIndex(perf=perf),
+    "finedex": lambda perf: FINEdexIndex(perf=perf),
+    "btree": lambda perf: BPlusTree(perf=perf),
+    "skiplist": lambda perf: SkipList(perf=perf),
+    "masstree": lambda perf: Masstree(perf=perf),
+    "bwtree": lambda perf: BwTree(perf=perf),
+    "wormhole": lambda perf: Wormhole(perf=perf),
+    "cceh": lambda perf: CCEH(perf=perf),
+}
+
+WORKLOADS = {
+    **{name.lower(): spec for name, spec in STANDARD_WORKLOADS.items()},
+    "read-only": READ_ONLY,
+    "write-only": WRITE_ONLY,
+}
+
+
+def cmd_info(_args: argparse.Namespace) -> int:
+    rows = []
+    for name, factory in INDEXES.items():
+        caps = factory(PerfContext()).capabilities()
+        rows.append(
+            [
+                name,
+                "yes" if caps.sorted_order else "no",
+                "yes" if caps.updatable else "no",
+                "bounded" if caps.bounded_error else "unfixed",
+                caps.inner_node or "-",
+                caps.insertion or "-",
+            ]
+        )
+    print(
+        format_table(
+            ["index", "sorted", "updatable", "error", "inner node", "insertion"],
+            rows,
+            title="Available indexes",
+        )
+    )
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    if args.index not in INDEXES:
+        print(f"unknown index {args.index!r}; see `info`", file=sys.stderr)
+        return 2
+    if args.workload not in WORKLOADS:
+        print(
+            f"unknown workload {args.workload!r}; "
+            f"one of {sorted(WORKLOADS)}",
+            file=sys.stderr,
+        )
+        return 2
+    spec = WORKLOADS[args.workload]
+    keys = DATASETS[args.dataset](args.keys, seed=args.seed)
+    needs_inserts = spec.insert > 0
+    if needs_inserts:
+        load, insert_pool = split_load_and_inserts(keys, 0.5, seed=args.seed)
+    else:
+        load, insert_pool = list(keys), None
+    ops = generate_operations(spec, args.ops, load, insert_pool, seed=args.seed)
+
+    perf = PerfContext()
+    store = ViperStore(INDEXES[args.index](perf), perf)
+    mark = perf.begin()
+    store.bulk_load([(k, k) for k in load])
+    build_ns = perf.end(mark).time_ns
+    recorder, bytes_per_op = run_store_ops(store, ops, perf)
+
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["index", args.index],
+                ["workload", spec.name],
+                ["dataset", f"{args.dataset} ({len(load):,} loaded keys)"],
+                ["operations", f"{len(recorder):,}"],
+                ["build (sim ms)", f"{build_ns / 1e6:.2f}"],
+                ["throughput (sim Mops/s)", f"{recorder.throughput_mops():.3f}"],
+                ["mean latency (sim ns)", f"{recorder.mean():.0f}"],
+                ["p50 (sim ns)", f"{recorder.p50():.0f}"],
+                ["p99.9 (sim ns)", f"{recorder.p999():.0f}"],
+                ["bytes/op", f"{bytes_per_op:.0f}"],
+            ],
+            title="Benchmark result (simulated hardware)",
+        )
+    )
+    return 0
+
+
+def cmd_datasets(args: argparse.Namespace) -> int:
+    if args.name not in DATASETS:
+        print(
+            f"unknown dataset {args.name!r}; one of {sorted(DATASETS)}",
+            file=sys.stderr,
+        )
+        return 2
+    keys = DATASETS[args.name](args.n, seed=args.seed)
+    if args.dump:
+        for k in keys:
+            print(k)
+        return 0
+    gaps = [b - a for a, b in zip(keys, keys[1:])]
+    rng = random.Random(args.seed)
+    print(
+        format_table(
+            ["property", "value"],
+            [
+                ["keys", f"{len(keys):,}"],
+                ["min", keys[0]],
+                ["max", keys[-1]],
+                ["median gap", sorted(gaps)[len(gaps) // 2] if gaps else "-"],
+                ["max gap", max(gaps) if gaps else "-"],
+                ["sample", rng.choice(keys)],
+            ],
+            title=f"dataset {args.name!r}",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Learned-index reproduction toolkit "
+        "(all performance numbers are simulated; see DESIGN.md).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list indexes and capabilities")
+
+    bench = sub.add_parser("bench", help="run one index/workload combination")
+    bench.add_argument("--index", default="alex", help="index name (see info)")
+    bench.add_argument(
+        "--workload",
+        default="ycsb-b",
+        help=f"one of {sorted(WORKLOADS)}",
+    )
+    bench.add_argument(
+        "--dataset", default="ycsb", choices=sorted(DATASETS), help="key set"
+    )
+    bench.add_argument("--keys", type=int, default=50_000)
+    bench.add_argument("--ops", type=int, default=20_000)
+    bench.add_argument("--seed", type=int, default=0)
+
+    ds = sub.add_parser("datasets", help="inspect a synthetic dataset")
+    ds.add_argument("--name", default="ycsb")
+    ds.add_argument("--n", type=int, default=10_000)
+    ds.add_argument("--seed", type=int, default=0)
+    ds.add_argument("--dump", action="store_true", help="print raw keys")
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": cmd_info,
+        "bench": cmd_bench,
+        "datasets": cmd_datasets,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

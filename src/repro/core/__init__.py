@@ -1,0 +1,36 @@
+"""The paper's primary contribution: learned-index design, cut into pieces.
+
+Section IV of the paper deconstructs updatable learned indexes into four
+orthogonal dimensions and evaluates each independently:
+
+* **approximation algorithm** (:mod:`repro.core.approximation`) —
+  LSA, Opt-PLA, LSA-gap, greedy-PLA, one-pass spline;
+* **internal structure** (:mod:`repro.core.structures`) —
+  RMI, B+tree, Linear Recursive Structure, Asymmetric Tree, radix table;
+* **insertion strategy** (:mod:`repro.core.insertion`) —
+  inplace, offsite buffer, model-guided gapped array;
+* **retraining strategy** (:mod:`repro.core.retraining`) —
+  retrain-one-node, LSM merge, expand-or-split.
+
+:class:`repro.core.composer.ComposedIndex` recombines any choice along each
+dimension into a working index, realising the paper's observation that the
+dimensions are orthogonal and "can be combined to form brand new indexes".
+"""
+
+from repro.core.interfaces import (
+    Capabilities,
+    Index,
+    IndexStats,
+    SortedIndex,
+    UpdatableIndex,
+)
+from repro.core.composer import ComposedIndex
+
+__all__ = [
+    "Capabilities",
+    "Index",
+    "IndexStats",
+    "SortedIndex",
+    "UpdatableIndex",
+    "ComposedIndex",
+]

@@ -1,0 +1,43 @@
+"""Approximation-CDF algorithms (the paper's dimension #1, §IV-A).
+
+Implemented algorithms and their paper counterparts:
+
+* :class:`LSAApproximator` — least squares over fixed-size segments
+  (XIndex; no error guarantee).
+* :class:`OptPLAApproximator` — optimal streaming piecewise linear
+  approximation with a maximum-error guarantee (PGM-Index; O'Rourke 1981).
+* :class:`GreedyPLAApproximator` — greedy feasible-space-window PLA
+  (FITing-tree; error-bounded but >= Opt-PLA segments).
+* :class:`LSAGapApproximator` — least squares followed by model-guided
+  gapped placement that *changes the stored CDF* (ALEX's LSA+gap).
+* :class:`SplineApproximator` — one-pass error-bounded spline
+  (RadixSpline).
+"""
+
+from repro.core.approximation.base import (
+    Approximation,
+    Approximator,
+    LinearModel,
+    Segment,
+)
+from repro.core.approximation.lsa import LSAApproximator, fit_least_squares
+from repro.core.approximation.optpla import OptPLAApproximator, OptimalPLA
+from repro.core.approximation.greedy import GreedyPLAApproximator
+from repro.core.approximation.lsa_gap import GappedSegment, LSAGapApproximator
+from repro.core.approximation.spline import SplineApproximator, SplineModel
+
+__all__ = [
+    "Approximation",
+    "Approximator",
+    "LinearModel",
+    "Segment",
+    "LSAApproximator",
+    "fit_least_squares",
+    "OptPLAApproximator",
+    "OptimalPLA",
+    "GreedyPLAApproximator",
+    "GappedSegment",
+    "LSAGapApproximator",
+    "SplineApproximator",
+    "SplineModel",
+]

@@ -1,0 +1,78 @@
+"""Greedy feasible-space-window PLA (FITing-tree's algorithm).
+
+The greedy algorithm anchors each segment's line at the segment's first
+point and shrinks a feasible slope window as points arrive (Liu et al.'s
+FSW); when the window empties, a new segment starts.  It shares Opt-PLA's
+maximum-error guarantee but, because the line is forced through the first
+point, it can need more segments — which is why the paper swaps it for
+Opt-PLA when benchmarking FITing-tree's *other* dimensions (§III-A1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.approximation.base import (
+    Approximation,
+    Approximator,
+    LinearModel,
+    Segment,
+)
+from repro.errors import InvalidConfigurationError
+
+
+class GreedyPLAApproximator(Approximator):
+    """One-pass greedy PLA with ``max_error <= eps``, anchored segments."""
+
+    name = "Greedy-PLA"
+    bounded_error = True
+
+    def __init__(self, eps: int = 32):
+        if eps < 0:
+            raise InvalidConfigurationError(f"eps must be >= 0, got {eps}")
+        self.eps = eps
+
+    def fit(self, keys: Sequence[int]) -> Approximation:
+        if not keys:
+            raise InvalidConfigurationError("cannot approximate an empty key set")
+        segments: List[Segment] = []
+        n = len(keys)
+        start = 0
+        slope_lo = float("-inf")
+        slope_hi = float("inf")
+        i = 1
+        while i < n:
+            dx = float(keys[i] - keys[start])
+            dy = float(i - start)
+            lo = (dy - self.eps) / dx
+            hi = (dy + self.eps) / dx
+            new_lo = max(slope_lo, lo)
+            new_hi = min(slope_hi, hi)
+            if new_lo > new_hi:
+                segments.append(self._close(keys, start, i, slope_lo, slope_hi))
+                start = i
+                slope_lo = float("-inf")
+                slope_hi = float("inf")
+            else:
+                slope_lo, slope_hi = new_lo, new_hi
+            i += 1
+        segments.append(self._close(keys, start, n, slope_lo, slope_hi))
+        return Approximation(segments, n)
+
+    def _close(
+        self,
+        keys: Sequence[int],
+        start: int,
+        end: int,
+        slope_lo: float,
+        slope_hi: float,
+    ) -> Segment:
+        if slope_lo == float("-inf"):
+            slope = 0.0  # single-point segment
+        else:
+            slope = (slope_lo + slope_hi) / 2.0
+        model = LinearModel(slope, 0.0, keys[start])
+        return Segment(keys[start], start, keys[start:end], model)
+
+    def __repr__(self) -> str:
+        return f"GreedyPLAApproximator(eps={self.eps})"

@@ -1,0 +1,127 @@
+"""Least squares + gapped placement (ALEX's LSA-gap algorithm).
+
+The defining trick (§II-B3, §IV-A): after fitting a least-squares model,
+the key array is *expanded with gaps* and every key is re-placed at the
+slot the (rescaled) model predicts for it.  This actively changes the
+stored data's CDF to match the model, so the prediction error collapses to
+collision-induced shifts — LSA-gap achieves both a small error and few
+segments simultaneously, which passive approximators cannot.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.core.approximation.base import (
+    Approximation,
+    Approximator,
+    LinearModel,
+    Segment,
+)
+from repro.core.approximation.lsa import fit_least_squares
+from repro.errors import InvalidConfigurationError
+
+
+class GappedSegment(Segment):
+    """A segment whose keys live in a gapped slot array.
+
+    ``slot_keys[i]`` is the key in slot ``i`` or ``None`` for a gap.
+    Prediction error is measured in *slot* space: the distance between the
+    model's predicted slot and the slot the key actually occupies.
+    """
+
+    __slots__ = ("slots", "slot_keys", "occupied")
+
+    def __init__(
+        self,
+        first_key: int,
+        start: int,
+        keys: Sequence[int],
+        density: float,
+    ):
+        n = len(keys)
+        slots = max(n, math.ceil(n / density))
+        slope, intercept = fit_least_squares(keys, keys[0])
+        scale = slots / n
+        model = LinearModel(slope * scale, intercept * scale, keys[0])
+
+        slot_keys: List[Optional[int]] = [None] * slots
+        max_err = 0
+        sum_err = 0
+        last = -1
+        for key in keys:
+            predicted = model.predict_clamped(key, slots)
+            slot = predicted if predicted > last else last + 1
+            if slot >= slots:
+                slot_keys.extend([None] * (slot - slots + 1))
+                slots = slot + 1
+            slot_keys[slot] = key
+            last = slot
+            err = abs(slot - predicted)
+            sum_err += err
+            if err > max_err:
+                max_err = err
+
+        self.first_key = first_key
+        self.start = start
+        self.n = n
+        self.model = model
+        self.max_error = max_err
+        self.avg_error = sum_err / n if n else 0.0
+        self.slots = slots
+        self.slot_keys = slot_keys
+        self.occupied = n
+
+    def predict(self, key: int) -> int:
+        return self.model.predict_clamped(key, self.slots)
+
+    def search_window(self, key: int) -> tuple:
+        pos = self.predict(key)
+        lo = max(0, pos - self.max_error)
+        hi = min(self.slots - 1, pos + self.max_error)
+        return lo, hi
+
+    def gap_fraction(self) -> float:
+        return 1.0 - self.occupied / self.slots if self.slots else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"GappedSegment(first_key={self.first_key}, n={self.n}, "
+            f"slots={self.slots}, max_error={self.max_error}, "
+            f"avg_error={self.avg_error:.2f})"
+        )
+
+
+class LSAGapApproximator(Approximator):
+    """Fixed-size segments, least-squares models, gapped key placement."""
+
+    name = "LSA-gap"
+    bounded_error = False
+
+    def __init__(self, segment_size: int = 4096, density: float = 0.7):
+        if segment_size < 1:
+            raise InvalidConfigurationError(
+                f"segment_size must be >= 1, got {segment_size}"
+            )
+        if not 0.0 < density <= 1.0:
+            raise InvalidConfigurationError(
+                f"density must be in (0, 1], got {density}"
+            )
+        self.segment_size = segment_size
+        self.density = density
+
+    def fit(self, keys: Sequence[int]) -> Approximation:
+        if not keys:
+            raise InvalidConfigurationError("cannot approximate an empty key set")
+        segments: List[Segment] = []
+        for start in range(0, len(keys), self.segment_size):
+            chunk = keys[start : start + self.segment_size]
+            segments.append(GappedSegment(chunk[0], start, chunk, self.density))
+        return Approximation(segments, len(keys))
+
+    def __repr__(self) -> str:
+        return (
+            f"LSAGapApproximator(segment_size={self.segment_size}, "
+            f"density={self.density})"
+        )

@@ -1,0 +1,212 @@
+"""ComposedIndex: recombine the four design dimensions into a working index.
+
+Section IV opens with the observation that "in theory, the four dimensions
+of the existing learned indexes are orthogonal, i.e., they can be combined
+to form brand new indexes".  ``ComposedIndex`` is that claim as code:
+
+>>> from repro.core import ComposedIndex
+>>> from repro.core.approximation import OptPLAApproximator
+>>> from repro.core.structures import ATSStructure
+>>> from repro.core.insertion.strategies import GappedStrategy
+>>> from repro.core.retraining import ExpandOrSplitPolicy
+>>> idx = ComposedIndex(
+...     OptPLAApproximator(eps=32), ATSStructure(),
+...     GappedStrategy(), ExpandOrSplitPolicy())
+
+The learned indexes in :mod:`repro.learned` are purpose-built
+implementations of the published designs; ``ComposedIndex`` exists for the
+dimension-isolation experiments (Figs 17-18) and for exploring the design
+space the paper recommends.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.approximation.base import Approximator
+from repro.core.insertion.base import InsertResult, Leaf
+from repro.core.insertion.strategies import InsertionStrategy
+from repro.core.interfaces import (
+    Capabilities,
+    IndexStats,
+    Key,
+    UpdatableIndex,
+    Value,
+    check_sorted_unique,
+)
+from repro.core.retraining.base import RetrainPolicy
+from repro.core.structures.base import InternalStructure
+from repro.errors import ReproError
+from repro.perf.context import PerfContext
+from repro.perf.events import Event
+
+_MAX_RETRAIN_ATTEMPTS = 4
+
+
+class ComposedIndex(UpdatableIndex):
+    """An updatable learned index assembled from the four dimensions."""
+
+    #: Passes over the data a bulk build makes (fit + leaf construction);
+    #: subclasses override to reflect their algorithm's build constant,
+    #: which drives the recovery-time experiment (Fig 16).
+    _build_passes = 2
+
+    def __init__(
+        self,
+        approximator: Approximator,
+        structure: InternalStructure,
+        insertion: InsertionStrategy,
+        retraining: RetrainPolicy,
+        perf: Optional[PerfContext] = None,
+    ):
+        super().__init__(perf)
+        self.approximator = approximator
+        self.structure = structure
+        self.structure.perf = self.perf  # share one simulated clock
+        self.insertion = insertion
+        self.retraining = retraining
+        self.leaves: List[Leaf] = []
+        self.name = (
+            f"{approximator.name}+{structure.name}"
+            f"+{insertion.name}+{retraining.name}"
+        )
+        self._n = 0
+
+    # -- construction ---------------------------------------------------
+
+    def bulk_load(self, items: Sequence[Tuple[Key, Value]]) -> None:
+        check_sorted_unique(items)
+        if not items:
+            self.leaves = []
+            self._n = 0
+            return
+        keys = [k for k, _ in items]
+        values = [v for _, v in items]
+        self.perf.charge(Event.RETRAIN_KEY, len(items) * self._build_passes)
+        approx = self.approximator.fit(keys)
+        self.perf.charge(Event.ALLOC, approx.leaf_count)
+        self.leaves = [
+            self.insertion.make_leaf(
+                keys[seg.start : seg.start + seg.n],
+                values[seg.start : seg.start + seg.n],
+                seg,
+                self.perf,
+            )
+            for seg in approx.segments
+        ]
+        self._n = len(items)
+        self._rebuild_structure()
+
+    def _rebuild_structure(self) -> None:
+        self.perf.charge(Event.ALLOC)
+        self.structure.build([leaf.first_key for leaf in self.leaves])
+
+    # -- queries ----------------------------------------------------------
+
+    def get(self, key: Key) -> Optional[Value]:
+        if not self.leaves:
+            return None
+        idx = self.structure.lookup(key)
+        return self.leaves[idx].get(key)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def range(self, lo: Key, hi: Key) -> Iterator[Tuple[Key, Value]]:
+        if not self.leaves:
+            return
+        idx = self.structure.lookup(lo)
+        while idx < len(self.leaves):
+            leaf = self.leaves[idx]
+            if leaf.first_key > hi:
+                return
+            yield from leaf.iter_range(lo, hi)
+            idx += 1
+
+    # -- mutation -----------------------------------------------------------
+
+    def insert(self, key: Key, value: Value) -> None:
+        if not self.leaves:
+            self.leaves = [
+                self.insertion.make_leaf([key], [value], None, self.perf)
+            ]
+            self._n = 1
+            self._rebuild_structure()
+            return
+        for _ in range(_MAX_RETRAIN_ATTEMPTS):
+            idx = self.structure.lookup(key)
+            result = self.leaves[idx].insert(key, value)
+            if result is InsertResult.INSERTED:
+                self._n += 1
+                return
+            if result is InsertResult.UPDATED:
+                return
+            self._retrain(idx)
+        raise ReproError(
+            f"insert of key {key} did not converge after "
+            f"{_MAX_RETRAIN_ATTEMPTS} retrains"
+        )
+
+    def delete(self, key: Key) -> bool:
+        if not self.leaves:
+            return False
+        idx = self.structure.lookup(key)
+        removed = self.leaves[idx].delete(key)
+        if not removed:
+            return False
+        self._n -= 1
+        if self.leaves[idx].n == 0:
+            # Drop the emptied leaf; the structure must forget its fence.
+            del self.leaves[idx]
+            if self.leaves:
+                self._rebuild_structure()
+        return True
+
+    def _retrain(self, idx: int) -> None:
+        old_n = self.leaves[idx].n
+        mark = self.perf.begin()
+        new_leaves = self.retraining.retrain_leaf(self, idx)
+        self.leaves[idx : idx + 1] = new_leaves
+        self._rebuild_structure()
+        op = self.perf.end(mark)
+        self.retraining.stats.record(old_n, op.time_ns)
+
+    # -- metadata -----------------------------------------------------------
+
+    #: Per-leaf structural metadata: model (24B) + header/pointer (16B).
+    _LEAF_META_BYTES = 40
+
+    def size_bytes(self) -> int:
+        return (
+            self.structure.size_bytes()
+            + len(self.leaves) * self._LEAF_META_BYTES
+        )
+
+    def key_store_bytes(self) -> int:
+        return sum(leaf.capacity_slots for leaf in self.leaves) * 16
+
+    def stats(self) -> IndexStats:
+        rs = self.retraining.stats
+        return IndexStats(
+            depth_avg=self.structure.avg_depth() if self.leaves else 0.0,
+            depth_max=self.structure.max_depth() if self.leaves else 0,
+            leaf_count=len(self.leaves),
+            retrain_count=rs.count,
+            retrain_keys=rs.keys_retrained,
+            retrain_time_ns=rs.time_ns,
+        )
+
+    @classmethod
+    def capabilities(cls) -> Capabilities:
+        return Capabilities(
+            sorted_order=True,
+            updatable=True,
+            bounded_error=False,
+            concurrent_read=True,
+            concurrent_write=False,
+            inner_node="configurable",
+            leaf_node="linear",
+            approximation="configurable",
+            insertion="configurable",
+            retraining="configurable",
+        )

@@ -1,0 +1,30 @@
+"""Insertion strategies (the paper's dimension #3, §IV-D).
+
+Three leaf-container designs, each charging the key movements its strategy
+actually causes:
+
+* :class:`InplaceLeaf` — FITing-tree's *inplace* strategy: reserved space
+  at both ends of the sorted run; an insert shifts every key between the
+  insertion point and the nearer end.
+* :class:`BufferedLeaf` — the *offsite buffer* strategy (FITing-tree-buf,
+  XIndex, PGM's staging): new keys go to a per-leaf sorted buffer; lookups
+  must check both places; a full buffer triggers a merge-retrain.
+* :class:`GappedLeaf` — ALEX's *gapped array*: the model predicts a slot,
+  and gaps left by LSA-gap placement absorb inserts with little or no key
+  movement.
+* :class:`repro.core.insertion.fine_bins.FineBinLeaf` — FINEdex's
+  per-position *level bins* (an extension beyond the paper's three).
+"""
+
+from repro.core.insertion.base import InsertResult, Leaf
+from repro.core.insertion.inplace import InplaceLeaf
+from repro.core.insertion.buffered import BufferedLeaf
+from repro.core.insertion.gapped import GappedLeaf
+
+__all__ = [
+    "InsertResult",
+    "Leaf",
+    "InplaceLeaf",
+    "BufferedLeaf",
+    "GappedLeaf",
+]

@@ -1,0 +1,144 @@
+"""Leaf container interface shared by the three insertion strategies."""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.perf.context import PerfContext, charge_probe
+from repro.perf.events import Event
+
+
+def rank_search(
+    keys: Any, lo: int, hi: int, key: int, guess: int, perf: PerfContext
+) -> int:
+    """Rightmost index in ``[lo, hi]`` with ``keys[i] <= key``; ``lo - 1`` if none.
+
+    ``keys[lo..hi]`` must be sorted and gap-free.  Exponential search from
+    ``guess``: the probe count scales with the prediction error, and each
+    probe that jumps beyond cache-line locality is charged as a cache
+    miss (see :func:`repro.perf.context.charge_probe`) — the mechanism
+    through which model quality reaches the simulated clock.
+    """
+    charge = perf.charge
+    if guess < lo:
+        guess = lo
+    elif guess > hi:
+        guess = hi
+    prev = guess
+    charge(Event.COMPARE)
+    if keys[guess] <= key:
+        a = guess
+        bound = 1
+        while guess + bound <= hi:
+            charge(Event.COMPARE)
+            charge_probe(perf, guess + bound - prev)
+            prev = guess + bound
+            if keys[guess + bound] <= key:
+                a = guess + bound
+                bound *= 2
+            else:
+                break
+        b = min(hi, guess + bound)
+        while a < b:
+            mid = (a + b + 1) // 2
+            charge(Event.COMPARE)
+            charge_probe(perf, mid - prev)
+            prev = mid
+            if keys[mid] <= key:
+                a = mid
+            else:
+                b = mid - 1
+        return a
+    b = guess
+    bound = 1
+    while guess - bound >= lo:
+        charge(Event.COMPARE)
+        charge_probe(perf, guess - bound - prev)
+        prev = guess - bound
+        if keys[guess - bound] > key:
+            b = guess - bound
+            bound *= 2
+        else:
+            break
+    a = guess - bound
+    if a < lo:
+        a = lo
+        charge(Event.COMPARE)
+        charge_probe(perf, a - prev)
+        prev = a
+        if keys[a] > key:
+            return lo - 1
+    # Invariant: keys[a] <= key < keys[b]; rightmost <= key is in [a, b-1].
+    hi2 = b - 1
+    while a < hi2:
+        mid = (a + hi2 + 1) // 2
+        charge(Event.COMPARE)
+        charge_probe(perf, mid - prev)
+        prev = mid
+        if keys[mid] <= key:
+            a = mid
+        else:
+            hi2 = mid - 1
+    return a
+
+
+class InsertResult(enum.Enum):
+    """Outcome of a leaf insert."""
+
+    INSERTED = "inserted"
+    UPDATED = "updated"  # key existed; value overwritten
+    FULL = "full"  # no space: the retraining policy must act first
+
+
+class Leaf(ABC):
+    """A leaf node holding sorted key/value pairs behind a linear model."""
+
+    def __init__(self, perf: PerfContext):
+        self.perf = perf
+
+    @property
+    @abstractmethod
+    def first_key(self) -> int:
+        """Smallest key covered (the leaf's fence)."""
+
+    @property
+    @abstractmethod
+    def n(self) -> int:
+        """Number of live keys (including any buffered ones)."""
+
+    @abstractmethod
+    def get(self, key: int) -> Optional[Any]: ...
+
+    @abstractmethod
+    def insert(self, key: int, value: Any) -> InsertResult: ...
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; return False if absent.  Strategies override."""
+        raise NotImplementedError
+
+    @abstractmethod
+    def items(self) -> List[Tuple[int, Any]]:
+        """All live pairs in ascending key order (used by retraining)."""
+
+    @abstractmethod
+    def size_bytes(self) -> int: ...
+
+    @property
+    def capacity_slots(self) -> int:
+        """Key/pointer slots this leaf keeps resident (incl. reserve)."""
+        return self.n
+
+    def iter_range(
+        self, lo: int, hi: int
+    ) -> Iterator[Tuple[int, Any]]:
+        """Pairs with lo <= key <= hi, ascending (default: filter items)."""
+        for key, value in self.items():
+            if key > hi:
+                return
+            if key >= lo:
+                yield key, value
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(first_key={self.first_key}, n={self.n})"

@@ -1,0 +1,309 @@
+"""Gapped-array insertion (ALEX's strategy).
+
+Keys live in a slot array larger than the key count; the leaf's linear
+model predicts a slot directly, and inserts land in a nearby gap with
+little or no key movement — "this strategy reserves some gaps near the
+target insertion position.  There is little or no key movement when
+inserting a new key" (§IV-D).  When occupancy crosses the density limit
+the leaf reports FULL and the retraining policy expands or splits it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.core.approximation.base import LinearModel
+from repro.core.approximation.lsa_gap import GappedSegment
+from repro.core.insertion.base import InsertResult, Leaf
+from repro.errors import InvalidConfigurationError
+from repro.perf.context import PerfContext
+from repro.perf.events import Event
+
+_PAIR_BYTES = 16
+#: Slots covered per charged sequential access while scanning for gaps /
+#: occupied slots (a 64-bit occupancy-bitmap word covers 64 slots; we are
+#: conservative).
+_SCAN_STRIDE = 16
+
+
+class GappedLeaf(Leaf):
+    """Model-addressed gapped slot array with density-triggered retrain."""
+
+    #: Retrain when the exponential moving average of key moves per
+    #: insert exceeds this (ALEX's cost-model check: observed insert cost
+    #: deviating from the model's expectation triggers node maintenance,
+    #: even below the density limit).
+    MOVE_EMA_LIMIT = 48.0
+    _EMA_ALPHA = 0.05
+
+    def __init__(
+        self,
+        segment: GappedSegment,
+        values: List[Any],
+        perf: PerfContext,
+        upper_density: float = 0.8,
+    ):
+        super().__init__(perf)
+        if not 0.0 < upper_density <= 1.0:
+            raise InvalidConfigurationError(
+                f"upper_density must be in (0, 1], got {upper_density}"
+            )
+        self._move_ema = 0.0
+        if len(values) != segment.n:
+            raise ValueError("values must match the segment's key count")
+        self.model: LinearModel = segment.model
+        self._slot_keys: List[Optional[int]] = list(segment.slot_keys)
+        self._slot_values: List[Any] = [None] * len(self._slot_keys)
+        vi = 0
+        for i, k in enumerate(self._slot_keys):
+            if k is not None:
+                self._slot_values[i] = values[vi]
+                vi += 1
+        self._occupied = segment.n
+        self._first = segment.first_key
+        self.upper_density = upper_density
+
+    # -- slot scanning helpers (each charges per stride scanned) ----------
+
+    def _charge_scan(self, distance: int) -> None:
+        self.perf.charge(Event.DRAM_SEQ, 1 + distance // _SCAN_STRIDE)
+
+    def _occupied_le(self, i: int) -> int:
+        """Nearest occupied slot index <= i, or -1."""
+        j = min(i, len(self._slot_keys) - 1)
+        start = j
+        while j >= 0 and self._slot_keys[j] is None:
+            j -= 1
+        self._charge_scan(start - j)
+        return j
+
+    def _occupied_ge(self, i: int) -> int:
+        """Nearest occupied slot index >= i, or -1."""
+        n = len(self._slot_keys)
+        j = max(i, 0)
+        start = j
+        while j < n and self._slot_keys[j] is None:
+            j += 1
+        self._charge_scan(j - start)
+        return j if j < n else -1
+
+    def _gap_le(self, i: int) -> int:
+        j = min(i, len(self._slot_keys) - 1)
+        start = j
+        while j >= 0 and self._slot_keys[j] is not None:
+            j -= 1
+        self._charge_scan(start - j)
+        return j
+
+    def _gap_ge(self, i: int) -> int:
+        n = len(self._slot_keys)
+        j = max(i, 0)
+        start = j
+        while j < n and self._slot_keys[j] is not None:
+            j += 1
+        self._charge_scan(j - start)
+        return j if j < n else -1
+
+    # -- gap-aware rank search ---------------------------------------------
+
+    def _rank_slot(self, key: int) -> int:
+        """Rightmost *occupied* slot whose key is <= ``key``; -1 if none."""
+        charge = self.perf.charge
+        slots = len(self._slot_keys)
+        charge(Event.MODEL_EVAL)
+        p = self.model.predict_clamped(key, slots)
+        j = self._occupied_le(p)
+        if j == -1:
+            j = self._occupied_ge(p + 1)
+            if j == -1:
+                return -1  # empty leaf
+            charge(Event.COMPARE)
+            if self._slot_keys[j] > key:
+                return -1
+        else:
+            charge(Event.COMPARE)
+        if self._slot_keys[j] <= key:
+            return self._gallop_right(j, key)
+        return self._gallop_left(j, key)
+
+    def _gallop_right(self, j: int, key: int) -> int:
+        """``slot_keys[j] <= key``: find the rightmost occupied <= key."""
+        charge = self.perf.charge
+        slots = len(self._slot_keys)
+        step = 1
+        while True:
+            q = j + step
+            if q >= slots:
+                q = slots - 1
+            c = self._occupied_le(q)
+            if c > j:
+                charge(Event.COMPARE)
+                if self._slot_keys[c] <= key:
+                    j = c
+                    if q == slots - 1:
+                        return j
+                    step *= 2
+                    continue
+                return self._binary_between(j, c, key)
+            if q == slots - 1:
+                return j  # no occupied slot right of j
+            step *= 2
+
+    def _gallop_left(self, b: int, key: int) -> int:
+        """``slot_keys[b] > key``: find the rightmost occupied <= key."""
+        charge = self.perf.charge
+        step = 1
+        while True:
+            q = b - step
+            if q < 0:
+                q = 0
+            c = self._occupied_le(q)
+            if c == -1:
+                c = self._occupied_ge(q + 1)
+                if c == b:
+                    return -1  # nothing occupied left of b
+                charge(Event.COMPARE)
+                if self._slot_keys[c] > key:
+                    return -1
+                return self._binary_between(c, b, key)
+            charge(Event.COMPARE)
+            if self._slot_keys[c] <= key:
+                return self._binary_between(c, b, key)
+            b = c
+            if q == 0:
+                return -1
+            step *= 2
+
+    def _binary_between(self, lo: int, hi: int, key: int) -> int:
+        """Rightmost occupied <= key, given occupied bounds
+        ``slot_keys[lo] <= key < slot_keys[hi]``."""
+        charge = self.perf.charge
+        while True:
+            mid = (lo + hi) // 2
+            c = self._occupied_le(mid)
+            if c <= lo:
+                c = self._occupied_ge(mid + 1)
+                if c >= hi:
+                    return lo
+            charge(Event.COMPARE)
+            if self._slot_keys[c] <= key:
+                lo = c
+            else:
+                hi = c
+
+    # -- Leaf interface -------------------------------------------------
+
+    @property
+    def first_key(self) -> int:
+        return self._first
+
+    @property
+    def n(self) -> int:
+        return self._occupied
+
+    @property
+    def slots(self) -> int:
+        return len(self._slot_keys)
+
+    def density(self) -> float:
+        return self._occupied / len(self._slot_keys)
+
+    def get(self, key: int) -> Optional[Any]:
+        self.perf.charge(Event.DRAM_HOP)
+        r = self._rank_slot(key)
+        if r != -1 and self._slot_keys[r] == key:
+            return self._slot_values[r]
+        return None
+
+    def insert(self, key: int, value: Any) -> InsertResult:
+        self.perf.charge(Event.DRAM_HOP)
+        r = self._rank_slot(key)
+        if r != -1 and self._slot_keys[r] == key:
+            self._slot_values[r] = value
+            return InsertResult.UPDATED
+        if self.density() >= self.upper_density:
+            return InsertResult.FULL
+        if self._move_ema > self.MOVE_EMA_LIMIT:
+            # Locally saturated even though global density is fine:
+            # retraining re-spreads the gaps.
+            return InsertResult.FULL
+
+        slots = len(self._slot_keys)
+        nr = self._occupied_ge(r + 1)  # next occupied after rank
+        if nr == -1:
+            nr = slots
+        if nr - r > 1:
+            # A gap exists exactly where the key belongs: free insert.
+            self.perf.charge(Event.MODEL_EVAL)
+            p = self.model.predict_clamped(key, slots)
+            slot = min(max(p, r + 1), nr - 1)
+            self._place(slot, key, value)
+            self._move_ema *= 1.0 - self._EMA_ALPHA
+            return InsertResult.INSERTED
+
+        # No gap at the insertion point: shift toward the nearest gap.
+        gap_left = self._gap_le(r) if r >= 0 else -1
+        gap_right = self._gap_ge(nr)
+        charge = self.perf.charge
+        use_left = gap_left != -1 and (
+            gap_right == -1 or (r - gap_left) <= (gap_right - nr)
+        )
+        if use_left:
+            # Shift occupied slots (gap_left, r] one slot left; insert at r.
+            moves = r - gap_left
+            for i in range(gap_left, r):
+                self._slot_keys[i] = self._slot_keys[i + 1]
+                self._slot_values[i] = self._slot_values[i + 1]
+                charge(Event.KEY_MOVE)
+            self._place(r, key, value)
+        else:
+            if gap_right == -1:
+                return InsertResult.FULL  # no gap anywhere (degenerate)
+            # Shift occupied slots [r+1, gap_right) one slot right;
+            # insert at r + 1.
+            moves = gap_right - (r + 1)
+            for i in range(gap_right, r + 1, -1):
+                self._slot_keys[i] = self._slot_keys[i - 1]
+                self._slot_values[i] = self._slot_values[i - 1]
+                charge(Event.KEY_MOVE)
+            self._place(r + 1, key, value)
+        self._move_ema = (
+            (1.0 - self._EMA_ALPHA) * self._move_ema + self._EMA_ALPHA * moves
+        )
+        return InsertResult.INSERTED
+
+    def _place(self, slot: int, key: int, value: Any) -> None:
+        self._slot_keys[slot] = key
+        self._slot_values[slot] = value
+        self._occupied += 1
+        if key < self._first:
+            self._first = key
+
+    def items(self) -> List[Tuple[int, Any]]:
+        return [
+            (k, self._slot_values[i])
+            for i, k in enumerate(self._slot_keys)
+            if k is not None
+        ]
+
+    @property
+    def capacity_slots(self) -> int:
+        return len(self._slot_keys)
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``: the slot simply becomes a gap."""
+        self.perf.charge(Event.DRAM_HOP)
+        r = self._rank_slot(key)
+        if r == -1 or self._slot_keys[r] != key:
+            return False
+        self._slot_keys[r] = None
+        self._slot_values[r] = None
+        self._occupied -= 1
+        if key == self._first and self._occupied:
+            nxt = self._occupied_ge(r + 1)
+            self._first = self._slot_keys[nxt]
+        return True
+
+    def size_bytes(self) -> int:
+        # Slot array + occupancy bitmap + model.
+        return len(self._slot_keys) * _PAIR_BYTES + len(self._slot_keys) // 8 + 24

@@ -1,0 +1,162 @@
+"""Abstract index interfaces shared by learned and traditional indexes.
+
+Keys are unsigned 64-bit integers (the paper uses 8-byte keys throughout);
+values are arbitrary Python objects — in the Viper store they are
+``(page_id, slot)`` offsets into simulated persistent memory.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import UnsupportedOperationError
+from repro.perf.context import DEFAULT_CONTEXT, PerfContext
+
+Key = int
+Value = Any
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What an index supports — the reproduction of the paper's Table I."""
+
+    sorted_order: bool = True
+    updatable: bool = True
+    bounded_error: bool = False
+    concurrent_read: bool = True
+    concurrent_write: bool = False
+    inner_node: str = ""
+    leaf_node: str = ""
+    approximation: str = ""
+    insertion: str = ""
+    retraining: str = ""
+
+
+@dataclass
+class IndexStats:
+    """Structural statistics reported alongside performance numbers."""
+
+    depth_avg: float = 0.0
+    depth_max: int = 0
+    leaf_count: int = 0
+    avg_error: float = 0.0
+    max_error: int = 0
+    retrain_count: int = 0
+    retrain_keys: int = 0
+    retrain_time_ns: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+
+class Index(ABC):
+    """Point-lookup index over uint64 keys."""
+
+    #: Human-readable index name used in benchmark tables.
+    name: str = "index"
+
+    #: Whether :meth:`insert` of an existing key overwrites it in place.
+    #: True for every index here except the LSM-style DynamicPGMIndex,
+    #: whose insert would stack a shadowing duplicate; callers that know
+    #: the key exists should use :meth:`update` when this is False.
+    insert_is_upsert: bool = True
+
+    def __init__(self, perf: Optional[PerfContext] = None):
+        self.perf = perf if perf is not None else DEFAULT_CONTEXT
+
+    # -- construction ---------------------------------------------------
+
+    @abstractmethod
+    def bulk_load(self, items: Sequence[Tuple[Key, Value]]) -> None:
+        """Build the index from ``items`` sorted ascending by unique key."""
+
+    # -- queries ----------------------------------------------------------
+
+    @abstractmethod
+    def get(self, key: Key) -> Optional[Value]:
+        """Return the value stored under ``key`` or ``None``."""
+
+    def __contains__(self, key: Key) -> bool:
+        return self.get(key) is not None
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of live keys."""
+
+    # -- mutation (optional) ----------------------------------------------
+
+    def insert(self, key: Key, value: Value) -> None:
+        """Insert a new key (or overwrite an existing one)."""
+        raise UnsupportedOperationError(f"{self.name} is read-only")
+
+    def update(self, key: Key, value: Value) -> bool:
+        """Overwrite an existing key's value; return False if absent."""
+        raise UnsupportedOperationError(f"{self.name} is read-only")
+
+    def delete(self, key: Key) -> bool:
+        """Remove ``key``; return False if absent."""
+        raise UnsupportedOperationError(f"{self.name} does not support delete")
+
+    # -- metadata -----------------------------------------------------------
+
+    @abstractmethod
+    def size_bytes(self) -> int:
+        """Approximate DRAM footprint of the index *structure* only
+        (models, inner nodes, directories) — Table III's first column."""
+
+    def key_store_bytes(self) -> int:
+        """DRAM needed to keep the key/pointer array resident, including
+        any reserved slots, gaps, or per-node buffers — the increment
+        Table III's "Index+key" column adds.  16 bytes per slot (8-byte
+        key + 8-byte record pointer)."""
+        return 16 * len(self)
+
+    def stats(self) -> IndexStats:
+        return IndexStats()
+
+    @classmethod
+    def capabilities(cls) -> Capabilities:
+        return Capabilities()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n={len(self)})"
+
+
+class SortedIndex(Index):
+    """Index that maintains keys in sorted order and supports range scans."""
+
+    def range(self, lo: Key, hi: Key) -> Iterator[Tuple[Key, Value]]:
+        """Yield ``(key, value)`` for lo <= key <= hi in ascending order."""
+        raise UnsupportedOperationError(f"{self.name} does not support range")
+
+    def scan(self, start: Key, count: int) -> List[Tuple[Key, Value]]:
+        """Return up to ``count`` pairs with key >= start, ascending."""
+        out: List[Tuple[Key, Value]] = []
+        for pair in self.range(start, 2**64 - 1):
+            out.append(pair)
+            if len(out) >= count:
+                break
+        return out
+
+
+class UpdatableIndex(SortedIndex):
+    """Sorted index supporting inserts — the paper's focus class."""
+
+    @abstractmethod
+    def insert(self, key: Key, value: Value) -> None: ...
+
+    def update(self, key: Key, value: Value) -> bool:
+        if self.get(key) is None:
+            return False
+        self.insert(key, value)
+        return True
+
+
+def check_sorted_unique(items: Sequence[Tuple[Key, Value]]) -> None:
+    """Validate a bulk-load input; raises ``ValueError`` on violation."""
+    for i in range(1, len(items)):
+        if items[i - 1][0] >= items[i][0]:
+            raise ValueError(
+                f"bulk_load requires strictly ascending keys; items[{i - 1}]="
+                f"{items[i - 1][0]} >= items[{i}]={items[i][0]}"
+            )

@@ -1,0 +1,22 @@
+"""Retraining strategies (the paper's dimension #4, §IV-E).
+
+* :class:`SplitRetrainPolicy` — retrain-one-node (FITing-tree, XIndex):
+  merge the leaf's data and refit it with the index's approximator,
+  splitting into several leaves when the data demands it.
+* :class:`ExpandOrSplitPolicy` — ALEX: if the leaf's model still fits the
+  merged data well, *expand* the gapped array (same leaf, more slots);
+  otherwise split into two gapped leaves.
+* PGM-Index's LSM-style retraining operates across whole index levels,
+  not single leaves; it lives in :class:`repro.learned.pgm.DynamicPGMIndex`
+  and reports through the same :class:`RetrainStats`.
+"""
+
+from repro.core.retraining.base import RetrainPolicy, RetrainStats
+from repro.core.retraining.policies import ExpandOrSplitPolicy, SplitRetrainPolicy
+
+__all__ = [
+    "RetrainPolicy",
+    "RetrainStats",
+    "SplitRetrainPolicy",
+    "ExpandOrSplitPolicy",
+]

@@ -1,0 +1,53 @@
+"""Retraining policy interface and bookkeeping."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List
+
+from repro.core.insertion.base import Leaf
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.composer import ComposedIndex
+
+
+@dataclass
+class RetrainStats:
+    """What Fig 18(b)-(d) reports: how often, how big, how long."""
+
+    count: int = 0
+    keys_retrained: int = 0
+    time_ns: float = 0.0
+    per_retrain_ns: List[float] = field(default_factory=list)
+
+    def record(self, keys: int, time_ns: float) -> None:
+        self.count += 1
+        self.keys_retrained += keys
+        self.time_ns += time_ns
+        self.per_retrain_ns.append(time_ns)
+
+    def avg_time_ns(self) -> float:
+        return self.time_ns / self.count if self.count else 0.0
+
+
+class RetrainPolicy(ABC):
+    """Decides what happens when a leaf reports FULL."""
+
+    name: str = "retrain"
+
+    def __init__(self) -> None:
+        self.stats = RetrainStats()
+
+    @abstractmethod
+    def retrain_leaf(self, index: "ComposedIndex", leaf_pos: int) -> List[Leaf]:
+        """Produce replacement leaves for ``index.leaves[leaf_pos]``.
+
+        Implementations must charge their work (``Event.RETRAIN_KEY`` per
+        key refit, ``Event.ALLOC`` per new leaf) to ``index.perf``; the
+        composer measures the elapsed simulated time and records it into
+        :attr:`stats`.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(retrains={self.stats.count})"

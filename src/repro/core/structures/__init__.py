@@ -1,0 +1,36 @@
+"""Internal index structures (the paper's dimension #2, §IV-B).
+
+An internal structure routes a key to the leaf segment that covers it.
+Every structure here answers exactly the query "index of the rightmost
+fence key <= key", but charges different event mixes:
+
+* :class:`RMIStructure` — two-layer recursive model index (XIndex root):
+  2 model evaluations + local correction search.
+* :class:`BTreeStructure` — B+tree over fences (FITing-tree): one
+  cache-missing hop plus ~log2(fanout) comparisons per level.
+* :class:`LRSStructure` — Linear Recursive Structure (PGM-Index): one
+  model evaluation + an eps-bounded search per level.
+* :class:`ATSStructure` — Asymmetric Tree Structure (ALEX): variable-depth
+  model tree; dense regions sit deeper, so the *average* depth is low.
+* :class:`RadixTableStructure` — radix prefix table (RadixSpline): one
+  table probe + a binary search within the prefix bucket.
+"""
+
+from repro.core.structures.base import InternalStructure, exponential_search
+from repro.core.structures.rmi_structure import RMIStructure
+from repro.core.structures.btree_structure import BTreeStructure
+from repro.core.structures.lrs_structure import LRSStructure
+from repro.core.structures.ats_structure import ATSStructure
+from repro.core.structures.radix_table import RadixTableStructure
+from repro.core.structures.hot_ats import HotATSStructure
+
+__all__ = [
+    "InternalStructure",
+    "exponential_search",
+    "RMIStructure",
+    "BTreeStructure",
+    "LRSStructure",
+    "ATSStructure",
+    "HotATSStructure",
+    "RadixTableStructure",
+]

@@ -1,0 +1,118 @@
+"""Base class and shared search helpers for internal structures."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+from repro.errors import EmptyIndexError
+from repro.perf.context import DEFAULT_CONTEXT, PerfContext, charge_probe
+from repro.perf.events import Event
+
+
+def exponential_search(
+    fences: Sequence[int], key: int, guess: int, perf: PerfContext
+) -> int:
+    """Exact leaf index from a (possibly wrong) ``guess``.
+
+    Returns the index of the rightmost fence <= key (clamped to 0), the
+    same answer ``bisect_right(fences, key) - 1`` would give.  Each probe
+    charges a comparison plus a locality-dependent memory access, so a
+    better guess is genuinely cheaper — how prediction quality feeds the
+    simulated clock.
+    """
+    n = len(fences)
+    if n == 0:
+        raise EmptyIndexError("no fences to search")
+    if guess < 0:
+        guess = 0
+    elif guess >= n:
+        guess = n - 1
+
+    charge = perf.charge
+    prev = guess
+    charge(Event.COMPARE)
+    if fences[guess] <= key:
+        # Gallop right for the first fence > key.
+        bound = 1
+        while guess + bound < n:
+            charge(Event.COMPARE)
+            charge_probe(perf, guess + bound - prev)
+            prev = guess + bound
+            if fences[guess + bound] > key:
+                break
+            bound *= 2
+        lo = guess + bound // 2
+        hi = min(n - 1, guess + bound)
+    else:
+        # Gallop left for a fence <= key.
+        bound = 1
+        while guess - bound >= 0:
+            charge(Event.COMPARE)
+            charge_probe(perf, guess - bound - prev)
+            prev = guess - bound
+            if fences[guess - bound] <= key:
+                break
+            bound *= 2
+        lo = max(0, guess - bound)
+        hi = guess - bound // 2
+    # Binary search for rightmost fence <= key within [lo, hi].
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        charge(Event.COMPARE)
+        charge_probe(perf, mid - prev)
+        prev = mid
+        if fences[mid] <= key:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def bounded_binary_search(
+    fences: Sequence[int], key: int, lo: int, hi: int, perf: PerfContext
+) -> int:
+    """Rightmost fence <= key within ``[lo, hi]``, charging per probe."""
+    charge = perf.charge
+    prev = (lo + hi + 1) // 2
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        charge(Event.COMPARE)
+        charge_probe(perf, mid - prev)
+        prev = mid
+        if fences[mid] <= key:
+            lo = mid
+        else:
+            hi = mid - 1
+    return max(0, lo)
+
+
+class InternalStructure(ABC):
+    """Routes a key to the index of the leaf segment covering it."""
+
+    name: str = "structure"
+
+    def __init__(self, perf: Optional[PerfContext] = None):
+        self.perf = perf if perf is not None else DEFAULT_CONTEXT
+        self.fences: Sequence[int] = ()
+
+    @abstractmethod
+    def build(self, fences: Sequence[int]) -> None:
+        """Construct the structure over sorted, unique fence keys."""
+
+    @abstractmethod
+    def lookup(self, key: int) -> int:
+        """Index of the rightmost fence <= key (0 if key < fences[0])."""
+
+    @abstractmethod
+    def avg_depth(self) -> float:
+        """Mean number of node hops from root to a leaf pointer."""
+
+    @abstractmethod
+    def max_depth(self) -> int: ...
+
+    @abstractmethod
+    def size_bytes(self) -> int: ...
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(fences={len(self.fences)})"

@@ -1,0 +1,118 @@
+"""Hot-aware Asymmetric Tree Structure — the paper's §V-B1 proposal.
+
+"We also keenly found that the asymmetric tree structure can support the
+hot data to be placed closer to the root node, which can shorten the
+total number of queries and improve query performance, which is also our
+future research direction."  This module implements that idea: the build
+takes per-fence access weights and spends its depth budget where queries
+actually go — a node terminates early when the *weighted* residual error
+of its model is small, so popular regions sit near the root even if cold
+regions need deeper subtrees.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.approximation.base import LinearModel
+from repro.core.structures.ats_structure import ATSStructure
+from repro.errors import EmptyIndexError, InvalidConfigurationError
+from repro.perf.context import PerfContext
+
+_MAX_DEPTH = 32
+
+
+class HotATSStructure(ATSStructure):
+    """ATS whose termination rule weighs errors by access frequency.
+
+    ``build_weighted(fences, weights)`` accepts one non-negative weight
+    per fence (e.g. observed or predicted access counts).  A region whose
+    *popularity-weighted* mean error is below ``error_threshold``
+    terminates immediately; unpopular, hard-to-model regions may grow
+    deep without hurting the average query.  ``build`` (unweighted)
+    degrades to the plain ATS rule.
+    """
+
+    name = "HotATS"
+
+    def __init__(
+        self,
+        max_node_fences: int = 64,
+        max_fanout: int = 256,
+        error_threshold: float = 8.0,
+        perf: Optional[PerfContext] = None,
+    ):
+        super().__init__(
+            max_node_fences=max_node_fences,
+            max_fanout=max_fanout,
+            error_threshold=error_threshold,
+            perf=perf,
+        )
+        self._weights: Optional[Sequence[float]] = None
+
+    def build_weighted(
+        self, fences: Sequence[int], weights: Sequence[float]
+    ) -> None:
+        if len(weights) != len(fences):
+            raise InvalidConfigurationError(
+                "need exactly one weight per fence"
+            )
+        if any(w < 0 for w in weights):
+            raise InvalidConfigurationError("weights must be >= 0")
+        # Weights are kept after the build so weighted_avg_depth() can
+        # evaluate the same access distribution.
+        self._weights = list(weights)
+        self.build(fences)
+
+    def build(self, fences: Sequence[int]) -> None:
+        if not fences:
+            raise EmptyIndexError("cannot build over zero fences")
+        self.fences = fences
+        self._node_count = 0
+        self._depth_weighted = 0.0
+        self._depth_max = 0
+        self._root = self._build_node(fences, 0, len(fences), 1)
+
+    # The weighted error replaces the parent's max-error terminal test.
+    def _max_error(
+        self, model: LinearModel, fences: Sequence[int], lo: int, hi: int
+    ) -> float:
+        if self._weights is None:
+            return super()._max_error(model, fences, lo, hi)
+        total = len(fences)
+        weighted = 0.0
+        weight_sum = 0.0
+        for idx in range(lo, hi):
+            err = abs(model.predict_clamped(fences[idx], total) - idx)
+            w = self._weights[idx]
+            weighted += err * w
+            weight_sum += w
+        if weight_sum == 0.0:
+            # Nobody ever queries this region: terminate immediately by
+            # reporting a perfect fit.
+            return 0.0
+        return weighted / weight_sum
+
+    def weighted_avg_depth(self) -> float:
+        """Mean lookup depth under the access distribution used to build."""
+        if self._root is None:
+            raise EmptyIndexError("structure not built")
+        if self._weights is None:
+            return self.avg_depth()
+        total_w = sum(self._weights)
+        if total_w == 0:
+            return self.avg_depth()
+        acc = 0.0
+        for idx, w in enumerate(self._weights):
+            if w:
+                acc += w * self._depth_of(self.fences[idx])
+        return acc / total_w
+
+    def _depth_of(self, key: int) -> int:
+        node = self._root
+        depth = 1
+        while node.children is not None:
+            slot = node.model.predict_clamped(key, len(node.children))
+            node = node.children[slot]
+            depth += 1
+        return depth

@@ -1,0 +1,98 @@
+"""Two-layer Recursive Model Index structure (RMI / XIndex root).
+
+The root model selects a second-layer model; the second-layer model
+predicts the leaf index; an exponential search corrects the prediction.
+Built top-down, so the maximum routing error is *not* bounded — the cost
+of a lookup depends on how well the models fit (the paper's explanation
+for RMI's large tail latency).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.approximation.base import LinearModel
+from repro.core.approximation.lsa import fit_least_squares
+from repro.core.structures.base import InternalStructure, exponential_search
+from repro.errors import EmptyIndexError, InvalidConfigurationError
+from repro.perf.context import PerfContext
+from repro.perf.events import Event
+
+#: DRAM bytes per linear model: slope + intercept + base key.
+_MODEL_BYTES = 24
+
+
+class RMIStructure(InternalStructure):
+    """Root linear model -> one of ``branching`` second-layer models."""
+
+    name = "RMI"
+
+    def __init__(
+        self, branching: int = 1024, perf: Optional[PerfContext] = None
+    ):
+        super().__init__(perf)
+        if branching < 1:
+            raise InvalidConfigurationError(
+                f"branching must be >= 1, got {branching}"
+            )
+        self.branching = branching
+        self._root: Optional[LinearModel] = None
+        self._leaf_models: List[LinearModel] = []
+
+    def build(self, fences: Sequence[int]) -> None:
+        if not fences:
+            raise EmptyIndexError("cannot build over zero fences")
+        self.fences = fences
+        n = len(fences)
+        branches = min(self.branching, n)
+
+        # Root: map key -> second-layer bucket by rescaling an LSA fit of
+        # key -> fence index.
+        slope, intercept = fit_least_squares(fences, fences[0])
+        scale = branches / n
+        self._root = LinearModel(slope * scale, intercept * scale, fences[0])
+
+        # Second layer: each bucket gets an LSA model over the fences the
+        # *root* routes to it (top-down construction).
+        buckets: List[List[int]] = [[] for _ in range(branches)]
+        starts: List[int] = [0] * branches
+        for idx, fence in enumerate(fences):
+            b = self._root.predict_clamped(fence, branches)
+            if not buckets[b]:
+                starts[b] = idx
+            buckets[b].append(fence)
+
+        self._leaf_models = []
+        prev_start = 0
+        for b in range(branches):
+            if buckets[b]:
+                chunk = buckets[b]
+                s, i = fit_least_squares(chunk, chunk[0])
+                model = LinearModel(s, i + starts[b], chunk[0])
+                prev_start = starts[b]
+            else:
+                # Empty bucket: fall back to a constant pointing at the
+                # nearest populated range on the left.
+                model = LinearModel(0.0, prev_start, 0)
+            self._leaf_models.append(model)
+
+    def lookup(self, key: int) -> int:
+        if self._root is None:
+            raise EmptyIndexError("structure not built")
+        charge = self.perf.charge
+        charge(Event.DRAM_HOP)
+        charge(Event.MODEL_EVAL)
+        bucket = self._root.predict_clamped(key, len(self._leaf_models))
+        charge(Event.DRAM_HOP)
+        charge(Event.MODEL_EVAL)
+        guess = self._leaf_models[bucket].predict_clamped(key, len(self.fences))
+        return exponential_search(self.fences, key, guess, self.perf)
+
+    def avg_depth(self) -> float:
+        return 2.0
+
+    def max_depth(self) -> int:
+        return 2
+
+    def size_bytes(self) -> int:
+        return (1 + len(self._leaf_models)) * _MODEL_BYTES

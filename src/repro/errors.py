@@ -1,0 +1,33 @@
+"""Exception types shared across the library."""
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class UnsupportedOperationError(ReproError):
+    """The index does not support the requested operation.
+
+    Raised e.g. when inserting into a read-only learned index (RMI,
+    RadixSpline) or range-scanning a hash index (CCEH).
+    """
+
+
+class KeyNotFoundError(ReproError):
+    """A key required to exist was absent (update/delete of missing key)."""
+
+
+class EmptyIndexError(ReproError):
+    """The operation requires a non-empty index."""
+
+
+class InvalidConfigurationError(ReproError):
+    """An index or model was configured with invalid parameters."""
+
+
+class DeviceError(ReproError):
+    """Simulated persistent-memory device error (out of space, bad offset)."""
+
+
+class CrashedError(ReproError):
+    """The store is in a crashed state and must be recovered first."""

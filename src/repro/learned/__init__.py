@@ -1,0 +1,54 @@
+"""The six learned indexes the paper evaluates (§II, Table I).
+
+Read-only:
+
+* :class:`RMIIndex` — two-stage Recursive Model Index (Kraska et al. 2018).
+* :class:`RadixSplineIndex` — one-pass spline + radix table (Kipf et al. 2020).
+
+Updatable:
+
+* :class:`FITingTree` — error-bounded PLA leaves under a B+tree, with
+  *inplace* or *buffer* insertion (Galakatos et al. 2019).
+* :class:`PGMIndex` / :class:`DynamicPGMIndex` — optimal PLA recursed into
+  a Linear Recursive Structure; updatable via an LSM of static indexes
+  (Ferragina & Vinciguerra 2020).
+* :class:`ALEXIndex` — gapped arrays + asymmetric model tree with
+  expand-or-split retraining (Ding et al. 2020).
+* :class:`XIndexIndex` — 2-layer RMI root over buffered group nodes, the
+  only evaluated learned index with concurrent writes (Tang et al. 2020).
+
+Extension beyond the paper's evaluation:
+
+* :class:`LIPPIndex` — precise-position learned index (Wu et al. 2021),
+  the design §V-B points to but could not evaluate ("it is not open
+  source now"); implemented here so that comparison can finally run.
+* :class:`APEXIndex` — persistent-memory learned index (Lu et al. 2022,
+  the paper's reference [6]): probe-and-stash PM data nodes, DRAM
+  fingerprints, near-instant recovery.
+* :class:`FINEdexIndex` — fine-grained level bins (Li et al. 2021, the
+  paper's reference [7]); the bin design is itself a new option in the
+  insertion dimension.
+"""
+
+from repro.learned.rmi import RMIIndex
+from repro.learned.radix_spline import RadixSplineIndex
+from repro.learned.fiting_tree import FITingTree
+from repro.learned.pgm import DynamicPGMIndex, PGMIndex
+from repro.learned.alex import ALEXIndex
+from repro.learned.xindex import XIndexIndex
+from repro.learned.lipp import LIPPIndex
+from repro.learned.apex import APEXIndex
+from repro.learned.finedex import FINEdexIndex
+
+__all__ = [
+    "RMIIndex",
+    "RadixSplineIndex",
+    "FITingTree",
+    "PGMIndex",
+    "DynamicPGMIndex",
+    "ALEXIndex",
+    "XIndexIndex",
+    "LIPPIndex",
+    "APEXIndex",
+    "FINEdexIndex",
+]

@@ -1,0 +1,88 @@
+"""FINEdex: fine-grained learned index with level bins (paper ref [7]).
+
+Li et al. (VLDB 2021) train error-bounded models over the data and attach
+a small *level bin* at each insertion position; a full bin retrains only
+the model it belongs to.  The design targets "scalable and concurrent
+memory systems": because inserts touch a single bin and retraining is
+per-model, writers rarely conflict — so, like XIndex, it carries the
+concurrent-write capability.
+
+Composed from the dimension framework: Opt-PLA training (FINEdex's
+training also guarantees a maximum error), a Linear Recursive Structure
+over the models, the :class:`FineGrainedStrategy` insertion dimension,
+and retrain-one-node.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.approximation import OptPLAApproximator
+from repro.core.composer import ComposedIndex
+from repro.core.insertion.fine_bins import FineBinLeaf
+from repro.core.insertion.strategies import InsertionStrategy, _dense_model_from
+from repro.core.interfaces import Capabilities
+from repro.core.retraining import SplitRetrainPolicy
+from repro.core.structures import LRSStructure
+from repro.errors import InvalidConfigurationError
+from repro.perf.context import PerfContext
+
+
+class FineGrainedStrategy(InsertionStrategy):
+    """FINEdex's level-bin insertion as a 4th insertion-dimension option."""
+
+    name = "fine-bins"
+
+    def __init__(self, bin_capacity: int = 16, max_bin_fraction: float = 1.0):
+        if bin_capacity < 1:
+            raise InvalidConfigurationError("bin_capacity must be >= 1")
+        self.bin_capacity = bin_capacity
+        self.max_bin_fraction = max_bin_fraction
+
+    def make_leaf(self, keys, values, segment, perf) -> FineBinLeaf:
+        model, max_error = _dense_model_from(segment, keys)
+        return FineBinLeaf(
+            keys,
+            values,
+            model,
+            max_error,
+            self.bin_capacity,
+            self.max_bin_fraction,
+            perf,
+        )
+
+
+class FINEdexIndex(ComposedIndex):
+    """FINEdex assembled from the four dimensions."""
+
+    _build_passes = 3  # training + flattening + bin scaffolding
+
+    def __init__(
+        self,
+        eps: int = 16,
+        bin_capacity: int = 16,
+        perf: Optional[PerfContext] = None,
+    ):
+        super().__init__(
+            OptPLAApproximator(eps=eps),
+            LRSStructure(eps=4),
+            FineGrainedStrategy(bin_capacity=bin_capacity),
+            SplitRetrainPolicy(),
+            perf=perf,
+        )
+        self.name = "FINEdex"
+
+    @classmethod
+    def capabilities(cls) -> Capabilities:
+        return Capabilities(
+            sorted_order=True,
+            updatable=True,
+            bounded_error=True,
+            concurrent_read=True,
+            concurrent_write=True,
+            inner_node="recursive linear",
+            leaf_node="linear + level bins",
+            approximation="error-bounded training",
+            insertion="per-position level bins",
+            retraining="retrain one model",
+        )

@@ -1,0 +1,83 @@
+"""FITing-tree: error-bounded PLA leaves under a B+tree inner index.
+
+Following the paper's methodology (§III-A1), the approximation algorithm
+is the *improved Opt-PLA* from PGM-Index rather than the original greedy
+FSW ("the approximation algorithm of PGM-Index was proved to be
+theoretically better ... this will help us compare the other design
+dimensions between them"); pass ``approximation="greedy"`` to use the
+original.  Both published insertion strategies are available:
+``strategy="inplace"`` (FITing-tree-inp) and ``strategy="buffer"``
+(FITing-tree-buf).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.approximation import GreedyPLAApproximator, OptPLAApproximator
+from repro.core.composer import ComposedIndex
+from repro.core.insertion.strategies import BufferStrategy, InplaceStrategy
+from repro.core.interfaces import Capabilities
+from repro.core.retraining import SplitRetrainPolicy
+from repro.core.structures import BTreeStructure
+from repro.errors import InvalidConfigurationError
+from repro.perf.context import PerfContext
+
+
+class FITingTree(ComposedIndex):
+    """FITing-tree with selectable insertion strategy."""
+
+    _build_passes = 2
+
+    def __init__(
+        self,
+        eps: int = 16,
+        strategy: str = "inplace",
+        reserve: int = 128,
+        buffer_capacity: int = 256,
+        btree_fanout: int = 16,
+        approximation: str = "optpla",
+        perf: Optional[PerfContext] = None,
+    ):
+        if strategy == "inplace":
+            insertion = InplaceStrategy(reserve=reserve)
+            name = "FITing-tree-inp"
+        elif strategy == "buffer":
+            insertion = BufferStrategy(buffer_capacity=buffer_capacity)
+            name = "FITing-tree-buf"
+        else:
+            raise InvalidConfigurationError(
+                f"strategy must be 'inplace' or 'buffer', got {strategy!r}"
+            )
+        if approximation == "optpla":
+            approximator = OptPLAApproximator(eps=eps)
+        elif approximation == "greedy":
+            approximator = GreedyPLAApproximator(eps=eps)
+        else:
+            raise InvalidConfigurationError(
+                f"approximation must be 'optpla' or 'greedy', got {approximation!r}"
+            )
+        super().__init__(
+            approximator,
+            BTreeStructure(fanout=btree_fanout),
+            insertion,
+            SplitRetrainPolicy(),
+            perf=perf,
+        )
+        self.name = name
+        self.strategy = strategy
+
+    @classmethod
+    def capabilities(cls) -> Capabilities:
+        return Capabilities(
+            sorted_order=True,
+            updatable=True,
+            bounded_error=True,
+            concurrent_read=True,
+            concurrent_write=False,
+            inner_node="B+tree",
+            leaf_node="linear",
+            approximation="greedy / Opt-PLA",
+            insertion="inplace | offsite",
+            retraining="retrain one node",
+        )

@@ -1,0 +1,377 @@
+"""PGM-Index: optimal PLA recursed into itself, plus the LSM dynamisation.
+
+:class:`PGMIndex` is the static index: Opt-PLA segments over the data with
+a Linear Recursive Structure (recursive Opt-PLA over segment fences) on
+top.  Both the routing and the leaf search are bounded by the configured
+epsilons, so tail latency is bounded — the property the paper contrasts
+with RMI.
+
+:class:`DynamicPGMIndex` is the updatable variant: a logarithmic method
+(Bentley-Saxe / LSM) over static PGM indexes.  "When a key is inserted,
+the first empty set S_i is found and a new PGM-Index ... is created" from
+the union of all smaller sets — frequent but individually cheap retrains
+(Fig 18b's 'PGM-Index has the lowest average retraining time').
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.approximation.base import Approximation
+from repro.core.approximation.optpla import OptPLAApproximator
+from repro.core.insertion.base import rank_search
+from repro.core.interfaces import (
+    Capabilities,
+    IndexStats,
+    Key,
+    SortedIndex,
+    UpdatableIndex,
+    Value,
+    check_sorted_unique,
+)
+from repro.core.retraining.base import RetrainStats
+from repro.core.structures.lrs_structure import LRSStructure
+from repro.errors import InvalidConfigurationError
+from repro.perf.context import PerfContext
+from repro.perf.events import Event
+
+#: Sentinel marking a deleted key inside the LSM levels.
+_TOMBSTONE = object()
+
+#: Opt-PLA's convex-hull maintenance makes the build pass heavier than a
+#: plain spline pass; this constant scales the charged build work.
+_BUILD_PASSES = 2
+
+
+class PGMIndex(SortedIndex):
+    """Static PGM: Opt-PLA leaves + recursive Opt-PLA routing."""
+
+    name = "PGM"
+
+    def __init__(
+        self,
+        eps: int = 16,
+        eps_internal: int = 4,
+        perf: Optional[PerfContext] = None,
+    ):
+        super().__init__(perf)
+        if eps < 1:
+            raise InvalidConfigurationError(f"eps must be >= 1, got {eps}")
+        self.eps = eps
+        self.eps_internal = eps_internal
+        self._keys: List[Key] = []
+        self._values: List[Any] = []
+        self._approx: Optional[Approximation] = None
+        self._structure: Optional[LRSStructure] = None
+
+    def bulk_load(self, items: Sequence[Tuple[Key, Value]]) -> None:
+        check_sorted_unique(items)
+        self._keys = [k for k, _ in items]
+        self._values = [v for _, v in items]
+        if not items:
+            self._approx = None
+            self._structure = None
+            return
+        self.perf.charge(Event.RETRAIN_KEY, len(items) * _BUILD_PASSES)
+        self._approx = OptPLAApproximator(eps=self.eps).fit(self._keys)
+        self.perf.charge(Event.ALLOC, self._approx.leaf_count)
+        self._structure = LRSStructure(eps=self.eps_internal, perf=self.perf)
+        self._structure.build(self._approx.fences)
+
+    def _rank(self, key: Key) -> int:
+        seg_idx = self._structure.lookup(key)
+        seg = self._approx.segments[seg_idx]
+        self.perf.charge(Event.DRAM_HOP)
+        self.perf.charge(Event.MODEL_EVAL)
+        guess = seg.start + seg.predict(key)
+        return rank_search(self._keys, 0, len(self._keys) - 1, key, guess, self.perf)
+
+    def get(self, key: Key) -> Optional[Value]:
+        if self._approx is None:
+            return None
+        pos = self._rank(key)
+        if pos >= 0 and self._keys[pos] == key:
+            self.perf.charge(Event.DRAM_SEQ)
+            return self._values[pos]
+        return None
+
+    def range(self, lo: Key, hi: Key) -> Iterator[Tuple[Key, Value]]:
+        if self._approx is None:
+            return
+        pos = self._rank(lo)
+        if pos < 0 or self._keys[pos] < lo:
+            pos += 1
+        while pos < len(self._keys) and self._keys[pos] <= hi:
+            self.perf.charge(Event.DRAM_SEQ)
+            yield self._keys[pos], self._values[pos]
+            pos += 1
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def set_value(self, key: Key, value: Any) -> bool:
+        """Overwrite the payload of an existing key in place."""
+        pos = self._rank(key)
+        if pos >= 0 and self._keys[pos] == key:
+            self.perf.charge(Event.DRAM_SEQ)
+            self._values[pos] = value
+            return True
+        return False
+
+    def items_list(self) -> List[Tuple[Key, Any]]:
+        """All stored pairs in key order (used by the LSM merge)."""
+        return list(zip(self._keys, self._values))
+
+    def size_bytes(self) -> int:
+        if self._approx is None:
+            return 0
+        return self._approx.leaf_count * 24 + self._structure.size_bytes()
+
+    def stats(self) -> IndexStats:
+        if self._approx is None:
+            return IndexStats()
+        return IndexStats(
+            depth_avg=float(self._structure.height + 1),
+            depth_max=self._structure.height + 1,
+            leaf_count=self._approx.leaf_count,
+            avg_error=self._approx.avg_error,
+            max_error=self._approx.max_error,
+        )
+
+    @classmethod
+    def capabilities(cls) -> Capabilities:
+        return Capabilities(
+            sorted_order=True,
+            updatable=False,
+            bounded_error=True,
+            concurrent_read=True,
+            concurrent_write=False,
+            inner_node="recursive linear",
+            leaf_node="linear",
+            approximation="Opt-PLA",
+            insertion="-",
+            retraining="-",
+        )
+
+
+class DynamicPGMIndex(UpdatableIndex):
+    """LSM (logarithmic method) of static PGM indexes, with tombstones."""
+
+    name = "PGM"
+    insert_is_upsert = False
+
+    def __init__(
+        self,
+        eps: int = 16,
+        eps_internal: int = 4,
+        base_level_size: int = 64,
+        perf: Optional[PerfContext] = None,
+    ):
+        super().__init__(perf)
+        if base_level_size < 1:
+            raise InvalidConfigurationError("base_level_size must be >= 1")
+        self.eps = eps
+        self.eps_internal = eps_internal
+        self.base_level_size = base_level_size
+        # levels[0] is a small sorted staging buffer; levels[i >= 1] hold
+        # static PGM indexes of geometrically growing capacity.
+        self._buffer: List[Tuple[Key, Any]] = []
+        self._levels: List[Optional[PGMIndex]] = []
+        self.retrain_stats = RetrainStats()
+
+    # -- construction ---------------------------------------------------
+
+    def bulk_load(self, items: Sequence[Tuple[Key, Value]]) -> None:
+        check_sorted_unique(items)
+        self._buffer = []
+        self._levels = []
+        if not items:
+            return
+        level = self._level_for(len(items))
+        self._levels = [None] * level + [self._build_level(list(items))]
+
+    def _level_for(self, n: int) -> int:
+        level = 0
+        cap = self.base_level_size
+        while cap < n:
+            cap *= 2
+            level += 1
+        return level
+
+    def _level_capacity(self, i: int) -> int:
+        return self.base_level_size * (1 << i)
+
+    def _build_level(self, items: List[Tuple[Key, Any]]) -> PGMIndex:
+        pgm = PGMIndex(self.eps, self.eps_internal, perf=self.perf)
+        pgm.bulk_load(items)
+        return pgm
+
+    # -- mutation -----------------------------------------------------------
+
+    def _put(self, key: Key, value: Any) -> None:
+        # Stage into the level-0 buffer (sorted insert).
+        mid = len(self._buffer) // 2
+        keys = [k for k, _ in self._buffer]
+        pos = (
+            rank_search(keys, 0, len(keys) - 1, key, mid, self.perf) + 1
+            if keys
+            else 0
+        )
+        if pos > 0 and self._buffer[pos - 1][0] == key:
+            self._buffer[pos - 1] = (key, value)
+            return
+        self.perf.charge(Event.KEY_MOVE, len(self._buffer) - pos)
+        self._buffer.insert(pos, (key, value))
+        if len(self._buffer) >= self.base_level_size:
+            self._carry()
+
+    def _carry(self) -> None:
+        """Merge the buffer and every full prefix level into the first slot
+        that can hold the result (the logarithmic method)."""
+        mark = self.perf.begin()
+        merged: List[Tuple[Key, Any]] = list(self._buffer)
+        self._buffer = []
+        target = 0
+        while True:
+            if target >= len(self._levels):
+                self._levels.append(None)
+            level = self._levels[target]
+            if level is not None:
+                merged = self._merge(merged, level.items_list())
+                self._levels[target] = None
+            if len(merged) <= self._level_capacity(target):
+                break
+            target += 1
+        self.perf.charge(Event.RETRAIN_KEY, len(merged))
+        self._levels[target] = self._build_level(merged)
+        op = self.perf.end(mark)
+        self.retrain_stats.record(len(merged), op.time_ns)
+
+    @staticmethod
+    def _merge(
+        newer: List[Tuple[Key, Any]], older: List[Tuple[Key, Any]]
+    ) -> List[Tuple[Key, Any]]:
+        """Two-way merge; on duplicate keys the newer value wins."""
+        out: List[Tuple[Key, Any]] = []
+        i = j = 0
+        while i < len(newer) and j < len(older):
+            kn, ko = newer[i][0], older[j][0]
+            if kn < ko:
+                out.append(newer[i])
+                i += 1
+            elif kn > ko:
+                out.append(older[j])
+                j += 1
+            else:
+                out.append(newer[i])
+                i += 1
+                j += 1
+        out.extend(newer[i:])
+        out.extend(older[j:])
+        return out
+
+    def insert(self, key: Key, value: Value) -> None:
+        self._put(key, value)
+
+    def update(self, key: Key, value: Value) -> bool:
+        """In-place payload overwrite: a value update does not change the
+        key set, so it must not grow the LSM (it would otherwise shadow
+        the old version and bloat every future merge)."""
+        self.perf.charge(Event.DRAM_HOP)
+        for i, (k, v) in enumerate(self._buffer):
+            self.perf.charge(Event.COMPARE)
+            if k == key:
+                if v is _TOMBSTONE:
+                    return False
+                self._buffer[i] = (key, value)
+                return True
+            if k > key:
+                break
+        for level in self._levels:
+            if level is not None and level.set_value(key, value):
+                return True
+        return False
+
+    def delete(self, key: Key) -> bool:
+        if self.get(key) is None:
+            return False
+        self._put(key, _TOMBSTONE)
+        return True
+
+    # -- queries ----------------------------------------------------------
+
+    def get(self, key: Key) -> Optional[Value]:
+        self.perf.charge(Event.DRAM_HOP)
+        for k, v in self._buffer:
+            self.perf.charge(Event.COMPARE)
+            if k == key:
+                return None if v is _TOMBSTONE else v
+            if k > key:
+                break
+        for level in self._levels:
+            if level is None:
+                continue
+            hit = level.get(key)
+            if hit is not None:
+                return None if hit is _TOMBSTONE else hit
+        return None
+
+    def range(self, lo: Key, hi: Key) -> Iterator[Tuple[Key, Value]]:
+        sources: List[List[Tuple[Key, Any]]] = []
+        if self._buffer:
+            sources.append([(k, v) for k, v in self._buffer if lo <= k <= hi])
+        for level in self._levels:
+            if level is not None:
+                sources.append(list(level.range(lo, hi)))
+        merged: List[Tuple[Key, Any]] = []
+        for source in sources:  # newest first: first writer wins
+            merged = self._merge(merged, source)
+        for k, v in merged:
+            if v is not _TOMBSTONE:
+                yield k, v
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.range(0, 2**64))
+
+    # -- metadata -----------------------------------------------------------
+
+    def items_count_raw(self) -> int:
+        """Total stored pairs including shadowed ones and tombstones."""
+        return len(self._buffer) + sum(
+            len(level) for level in self._levels if level is not None
+        )
+
+    def size_bytes(self) -> int:
+        total = len(self._buffer) * 16
+        for level in self._levels:
+            if level is not None:
+                total += level.size_bytes()
+        return total
+
+    def stats(self) -> IndexStats:
+        live = [lv for lv in self._levels if lv is not None]
+        depth = max((lv.stats().depth_max for lv in live), default=0)
+        return IndexStats(
+            depth_avg=float(depth),
+            depth_max=depth,
+            leaf_count=sum(lv.stats().leaf_count for lv in live),
+            retrain_count=self.retrain_stats.count,
+            retrain_keys=self.retrain_stats.keys_retrained,
+            retrain_time_ns=self.retrain_stats.time_ns,
+            extra={"levels": len(self._levels)},
+        )
+
+    @classmethod
+    def capabilities(cls) -> Capabilities:
+        return Capabilities(
+            sorted_order=True,
+            updatable=True,
+            bounded_error=True,
+            concurrent_read=True,
+            concurrent_write=False,
+            inner_node="recursive linear",
+            leaf_node="linear",
+            approximation="Opt-PLA",
+            insertion="offsite (LSM)",
+            retraining="LSM merge",
+        )

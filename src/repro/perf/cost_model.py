@@ -1,0 +1,88 @@
+"""Event-to-nanoseconds cost model.
+
+Default latencies follow published measurements of the paper's platform
+(Xeon Gold 6242 + Optane DC PMem, see Yang et al., FAST'20, and the Viper
+paper, VLDB'21):
+
+* an uncached DRAM pointer chase costs ~90 ns,
+* a cache-resident sequential access costs ~4 ns,
+* an Optane 256 B block read costs ~300 ns, a write to the WPQ ~100 ns,
+* arithmetic (compares, model evaluations) costs single nanoseconds.
+
+The absolute values only set the simulated clock's scale; the paper-shape
+results depend on their *ratios*, which is what the defaults preserve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.perf.events import Counters, Event
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-event latencies in nanoseconds."""
+
+    dram_hop_ns: float = 90.0
+    dram_seq_ns: float = 4.0
+    compare_ns: float = 1.5
+    model_eval_ns: float = 4.0
+    key_move_ns: float = 6.0
+    hash_ns: float = 12.0
+    nvm_read_ns: float = 300.0
+    nvm_write_ns: float = 100.0
+    alloc_ns: float = 60.0
+    retrain_key_ns: float = 14.0
+
+    def weights(self) -> dict:
+        """Event name -> nanoseconds, aligned with :class:`Event` names."""
+        return {
+            Event.DRAM_HOP: self.dram_hop_ns,
+            Event.DRAM_SEQ: self.dram_seq_ns,
+            Event.COMPARE: self.compare_ns,
+            Event.MODEL_EVAL: self.model_eval_ns,
+            Event.KEY_MOVE: self.key_move_ns,
+            Event.HASH: self.hash_ns,
+            Event.NVM_READ: self.nvm_read_ns,
+            Event.NVM_WRITE: self.nvm_write_ns,
+            Event.ALLOC: self.alloc_ns,
+            Event.RETRAIN_KEY: self.retrain_key_ns,
+        }
+
+    def time_ns(self, counters: Counters) -> float:
+        """Simulated time for a bag of events."""
+        w = self.weights()
+        return sum(getattr(counters, name) * w[name] for name in Event.ALL)
+
+    def scaled(self, factor: float) -> "CostModel":
+        """A cost model with every latency multiplied by ``factor``."""
+        return replace(
+            self,
+            **{
+                f.name: getattr(self, f.name) * factor
+                for f in self.__dataclass_fields__.values()  # type: ignore[attr-defined]
+            },
+        )
+
+
+#: Bytes moved from memory per event, used by the bandwidth contention model.
+EVENT_BYTES = {
+    Event.DRAM_HOP: 64,
+    Event.DRAM_SEQ: 16,
+    Event.COMPARE: 0,
+    Event.MODEL_EVAL: 0,
+    Event.KEY_MOVE: 16,
+    Event.HASH: 0,
+    Event.NVM_READ: 256,
+    Event.NVM_WRITE: 256,
+    Event.ALLOC: 64,
+    Event.RETRAIN_KEY: 16,
+}
+
+
+def bytes_touched(counters: Counters) -> int:
+    """Total bytes of memory traffic implied by a bag of events."""
+    return sum(
+        getattr(counters, name) * EVENT_BYTES[name] for name in Event.ALL
+    )

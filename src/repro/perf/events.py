@@ -1,0 +1,98 @@
+"""Hardware event taxonomy charged by index and store implementations.
+
+Each event is a proxy for a micro-architectural cost the paper reasons
+about explicitly:
+
+* ``DRAM_HOP`` — a pointer chase to a node that is not in cache (the paper:
+  "each level of the internal structure searched down causes a cache miss").
+* ``DRAM_SEQ`` — touching an adjacent cache line inside a node that is
+  already resident (sequential scan step, slot probe).
+* ``COMPARE`` — one key comparison (the dominant cost of comparison-based
+  inner structures such as the FITing-tree's B+tree).
+* ``MODEL_EVAL`` — evaluating one linear model (fused multiply-add plus a
+  clamp), the dominant cost of calculated structures such as PGM's LRS.
+* ``KEY_MOVE`` — shifting one stored key/slot during an insert (the cost
+  that makes the inplace strategy slow).
+* ``HASH`` — one hash computation (CCEH, Wormhole anchors).
+* ``NVM_READ`` / ``NVM_WRITE`` — one 256-byte Optane block access.
+* ``ALLOC`` — allocating a new node/page.
+* ``RETRAIN_KEY`` — refitting one key during a model retrain.
+"""
+
+from __future__ import annotations
+
+
+class Event:
+    """Namespace of event names; values are the keys used in :class:`Counters`."""
+
+    DRAM_HOP = "dram_hop"
+    DRAM_SEQ = "dram_seq"
+    COMPARE = "compare"
+    MODEL_EVAL = "model_eval"
+    KEY_MOVE = "key_move"
+    HASH = "hash"
+    NVM_READ = "nvm_read"
+    NVM_WRITE = "nvm_write"
+    ALLOC = "alloc"
+    RETRAIN_KEY = "retrain_key"
+
+    ALL = (
+        DRAM_HOP,
+        DRAM_SEQ,
+        COMPARE,
+        MODEL_EVAL,
+        KEY_MOVE,
+        HASH,
+        NVM_READ,
+        NVM_WRITE,
+        ALLOC,
+        RETRAIN_KEY,
+    )
+
+
+class Counters:
+    """A mutable bag of event counts.
+
+    Implemented with one integer slot per event rather than a dict so that
+    the hot ``charge`` path and snapshot deltas stay cheap in CPython.
+    """
+
+    __slots__ = tuple(Event.ALL)
+
+    def __init__(self) -> None:
+        for name in Event.ALL:
+            setattr(self, name, 0)
+
+    def copy(self) -> "Counters":
+        out = Counters()
+        for name in Event.ALL:
+            setattr(out, name, getattr(self, name))
+        return out
+
+    def delta(self, earlier: "Counters") -> "Counters":
+        """Return a new ``Counters`` holding ``self - earlier`` per event."""
+        out = Counters()
+        for name in Event.ALL:
+            setattr(out, name, getattr(self, name) - getattr(earlier, name))
+        return out
+
+    def add(self, other: "Counters") -> None:
+        for name in Event.ALL:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def total(self) -> int:
+        return sum(getattr(self, name) for name in Event.ALL)
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in Event.ALL}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Counters):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name) for name in Event.ALL
+        )
+
+    def __repr__(self) -> str:
+        nonzero = {k: v for k, v in self.as_dict().items() if v}
+        return f"Counters({nonzero})"

@@ -1,0 +1,77 @@
+"""Latency sample collection and summary statistics."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+
+class LatencyRecorder:
+    """Collects per-operation simulated latencies (ns) and summarises them.
+
+    Percentiles use the nearest-rank method on the sorted sample, which is
+    what latency-measurement harnesses (and the paper's 99.9% tail figures)
+    conventionally report.
+    """
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self._sorted = False
+
+    def record(self, latency_ns: float) -> None:
+        self._samples.append(latency_ns)
+        self._sorted = False
+
+    def extend(self, latencies_ns: Iterable[float]) -> None:
+        self._samples.extend(latencies_ns)
+        self._sorted = False
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in (0, 100]."""
+        if not self._samples:
+            raise ValueError("no latency samples recorded")
+        if not 0.0 < p <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        self._ensure_sorted()
+        # Round-guard: 0.999 * 1000 is 999.0000000000001 in binary floating
+        # point, which must still rank as 999, not 1000.
+        rank = max(1, math.ceil(p / 100.0 * len(self._samples) - 1e-9))
+        return self._samples[rank - 1]
+
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def p999(self) -> float:
+        return self.percentile(99.9)
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError("no latency samples recorded")
+        return sum(self._samples) / len(self._samples)
+
+    def max(self) -> float:
+        if not self._samples:
+            raise ValueError("no latency samples recorded")
+        self._ensure_sorted()
+        return self._samples[-1]
+
+    def total_time_ns(self) -> float:
+        return sum(self._samples)
+
+    def throughput_mops(self) -> float:
+        """Million operations per simulated second."""
+        total = self.total_time_ns()
+        if total <= 0:
+            raise ValueError("total simulated time is zero")
+        return len(self._samples) / total * 1e3

@@ -1,0 +1,13 @@
+"""The NVM key-value store substrate (§III-A2).
+
+* :class:`PMemDevice` — a simulated byte-addressable persistent-memory
+  device with Optane block-granular access costs and crash persistence.
+* :class:`ViperStore` — a Viper-style hybrid store: a volatile DRAM index
+  (any :class:`repro.core.interfaces.Index`) over records persisted in
+  VPages on the device, with crash/recovery support (Fig 16).
+"""
+
+from repro.store.pmem import PMemDevice
+from repro.store.viper import ViperStore
+
+__all__ = ["PMemDevice", "ViperStore"]

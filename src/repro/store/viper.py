@@ -1,0 +1,197 @@
+"""Viper-style hybrid PMem-DRAM key-value store (Benson et al., VLDB'21).
+
+Architecture (the paper's Fig 9): a volatile index lives entirely in DRAM
+and maps keys to ``(page, slot)`` offsets of records persisted in NVM
+VPages.  Puts append to the current page (or reuse a freed slot page),
+gets follow the index then read one record from NVM, updates write a new
+record and repoint the index.  On a crash the index is gone; recovery
+scans the device and rebuilds it — the cost compared across indexes in
+Fig 16.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.core.interfaces import Index, SortedIndex
+from repro.errors import CrashedError, UnsupportedOperationError
+from repro.perf.context import PerfContext
+from repro.store.pmem import PMemDevice
+
+
+class ViperStore:
+    """DRAM index + NVM value pages."""
+
+    def __init__(
+        self,
+        index: Index,
+        perf: PerfContext,
+        record_bytes: int = 208,
+        slots_per_page: int = 16,
+    ):
+        self.index = index
+        self.perf = perf
+        self.device = PMemDevice(
+            record_bytes=record_bytes,
+            slots_per_page=slots_per_page,
+            perf=perf,
+        )
+        self._open_page = self.device.allocate_page()
+        self._next_slot = 0
+        self._free_slots: List[Tuple[int, int]] = []
+        self._crashed = False
+        self._n = 0
+
+    # -- helpers ------------------------------------------------------------
+
+    def _check_alive(self) -> None:
+        if self._crashed:
+            raise CrashedError("store crashed; call recover() first")
+
+    def _allocate_slot(self) -> Tuple[int, int]:
+        if self._free_slots:
+            return self._free_slots.pop()
+        if self._next_slot >= self.device.slots_per_page:
+            self._open_page = self.device.allocate_page()
+            self._next_slot = 0
+        slot = (self._open_page, self._next_slot)
+        self._next_slot += 1
+        return slot
+
+    # -- operations -----------------------------------------------------------
+
+    def bulk_load(self, items: List[Tuple[int, Any]]) -> None:
+        """Load sorted unique items: persist records, then build the index."""
+        self._check_alive()
+        locations = []
+        for key, value in items:
+            page, slot = self._allocate_slot()
+            self.device.write_record(page, slot, key, value)
+            locations.append((key, (page, slot)))
+        self.index.bulk_load(locations)
+        self._n = len(items)
+
+    def put(self, key: int, value: Any) -> None:
+        """Insert or update."""
+        self._check_alive()
+        existing = self.index.get(key)
+        page, slot = self._allocate_slot()
+        self.device.write_record(page, slot, key, value)
+        if existing is not None:
+            # Update: repoint the index, free the stale record.  Indexes
+            # whose insert is an in-place upsert take the cheap path; the
+            # LSM-style PGM overwrites the payload instead of stacking a
+            # shadowing duplicate.
+            if self.index.insert_is_upsert:
+                self.index.insert(key, (page, slot))
+            else:
+                self.index.update(key, (page, slot))
+            self.device.free_record(*existing)
+        else:
+            self.index.insert(key, (page, slot))
+            self._n += 1
+
+    def get(self, key: int) -> Optional[Any]:
+        self._check_alive()
+        location = self.index.get(key)
+        if location is None:
+            return None
+        _, value = self.device.read_record(*location)
+        return value
+
+    def update(self, key: int, value: Any) -> bool:
+        self._check_alive()
+        if self.index.get(key) is None:
+            return False
+        self.put(key, value)
+        return True
+
+    def delete(self, key: int) -> bool:
+        self._check_alive()
+        location = self.index.get(key)
+        if location is None:
+            return False
+        try:
+            removed = self.index.delete(key)
+        except UnsupportedOperationError:
+            return False
+        if removed:
+            self.device.free_record(*location)
+            self._free_slots.append(location)
+            self._n -= 1
+        return removed
+
+    def scan(self, start_key: int, count: int) -> List[Tuple[int, Any]]:
+        """Range scan: ordered index walk + NVM record reads."""
+        self._check_alive()
+        if not isinstance(self.index, SortedIndex):
+            raise UnsupportedOperationError(
+                f"{self.index.name} cannot serve ordered scans"
+            )
+        out: List[Tuple[int, Any]] = []
+        for key, location in self.index.range(start_key, 2**64 - 1):
+            _, value = self.device.read_record(*location)
+            out.append((key, value))
+            if len(out) >= count:
+                break
+        return out
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __contains__(self, key: int) -> bool:
+        return self.index.get(key) is not None
+
+    # -- crash & recovery -----------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose all DRAM state; NVM contents survive."""
+        self._crashed = True
+
+    def crash_during_put(self, key: int, value: Any) -> None:
+        """Simulate power loss in the middle of persisting a put.
+
+        The record's blocks are partially flushed (torn), so its checksum
+        cannot verify; recovery must drop it, leaving the key's previous
+        state intact — Viper's crash-consistency contract.
+        """
+        self._check_alive()
+        page, slot = self._allocate_slot()
+        self.device.write_record_torn(page, slot, key, value)
+        self._crashed = True
+
+    def recover(self, index_factory: Callable[[], Index]) -> float:
+        """Rebuild the DRAM index from an NVM scan; returns simulated ns.
+
+        The scan yields records in write order; the newest write of each
+        key wins (matching Viper's recovery semantics).
+        """
+        mark = self.perf.begin()
+        latest: dict = {}
+        max_page = -1
+        for page_id, slot, key, _value in self.device.scan_records():
+            latest[key] = (page_id, slot)
+            max_page = max(max_page, page_id)
+        items = sorted(latest.items())
+        index = index_factory()
+        index.bulk_load(items)
+        self.index = index
+        self._n = len(items)
+        self._crashed = False
+        self._free_slots = []
+        self._open_page = self.device.allocate_page()
+        self._next_slot = 0
+        return self.perf.end(mark).time_ns
+
+    # -- accounting (Table III) -------------------------------------------------
+
+    def space_overhead(self) -> dict:
+        """The three DRAM-budget scenarios of Table III."""
+        index_size = self.index.size_bytes()
+        key_size = self.index.key_store_bytes()
+        value_size = self._n * (self.device.record_bytes - 8)
+        return {
+            "index": index_size,
+            "index+key": index_size + key_size,
+            "index+kv": index_size + key_size + value_size,
+        }

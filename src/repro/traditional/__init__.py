@@ -1,0 +1,18 @@
+"""The six traditional indexes the paper compares against (§III-A1).
+
+* :class:`BPlusTree` — STX-style in-memory B+tree.
+* :class:`SkipList` — LevelDB-style skip list.
+* :class:`Masstree` — trie of B+trees over 8-byte key slices.
+* :class:`BwTree` — mapping table + delta chains + consolidation.
+* :class:`Wormhole` — hash-accelerated trie over sorted leaves.
+* :class:`CCEH` — cacheline-conscious extendible hashing (unordered).
+"""
+
+from repro.traditional.btree import BPlusTree
+from repro.traditional.skiplist import SkipList
+from repro.traditional.masstree import Masstree
+from repro.traditional.bwtree import BwTree
+from repro.traditional.wormhole import Wormhole
+from repro.traditional.cceh import CCEH
+
+__all__ = ["BPlusTree", "SkipList", "Masstree", "BwTree", "Wormhole", "CCEH"]

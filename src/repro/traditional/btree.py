@@ -1,0 +1,294 @@
+"""STX-style in-memory B+tree.
+
+Slotted inner and leaf nodes sized for cache lines (STX uses ~256-byte
+nodes); every level descended costs one cache-missing hop plus an
+in-node binary search.  Leaves are chained for range scans.  Deletion
+removes from the leaf without rebalancing (STX-style lazy deletion is
+sufficient for the paper's workloads, which never shrink the tree).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.interfaces import (
+    Capabilities,
+    IndexStats,
+    Key,
+    UpdatableIndex,
+    Value,
+    check_sorted_unique,
+)
+from repro.errors import InvalidConfigurationError
+from repro.perf.context import PerfContext
+from repro.perf.events import Event
+
+_SLOT_BYTES = 16
+_NODE_OVERHEAD = 32
+
+
+class _LeafNode:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self):
+        self.keys: List[Key] = []
+        self.values: List[Any] = []
+        self.next: Optional["_LeafNode"] = None
+
+
+class _InnerNode:
+    __slots__ = ("keys", "children")
+
+    def __init__(self):
+        # children[i] covers keys < keys[i]; children[-1] covers the rest.
+        self.keys: List[Key] = []
+        self.children: List[Any] = []
+
+
+class BPlusTree(UpdatableIndex):
+    """B+tree with configurable fanout (default 32, ~STX node size)."""
+
+    name = "BTree"
+
+    def __init__(self, fanout: int = 32, perf: Optional[PerfContext] = None):
+        super().__init__(perf)
+        if fanout < 4:
+            raise InvalidConfigurationError(f"fanout must be >= 4, got {fanout}")
+        self.fanout = fanout
+        self._root: Any = _LeafNode()
+        self._height = 1
+        self._n = 0
+        self._node_count = 1
+
+    # -- construction ---------------------------------------------------
+
+    def bulk_load(self, items: Sequence[Tuple[Key, Value]]) -> None:
+        check_sorted_unique(items)
+        self._n = len(items)
+        self._node_count = 0
+        if not items:
+            self._root = _LeafNode()
+            self._height = 1
+            self._node_count = 1
+            return
+        # Bottom-up bulk build: pack leaves, then stack inner levels.
+        per_leaf = max(2, (self.fanout * 3) // 4)  # leave insert slack
+        self.perf.charge(Event.KEY_MOVE, len(items))
+        leaves: List[_LeafNode] = []
+        for start in range(0, len(items), per_leaf):
+            leaf = _LeafNode()
+            chunk = items[start : start + per_leaf]
+            leaf.keys = [k for k, _ in chunk]
+            leaf.values = [v for _, v in chunk]
+            leaves.append(leaf)
+        for a, b in zip(leaves, leaves[1:]):
+            a.next = b
+        self._node_count += len(leaves)
+        self.perf.charge(Event.ALLOC, len(leaves))
+
+        level: List[Tuple[Key, Any]] = [(lf.keys[0], lf) for lf in leaves]
+        height = 1
+        while len(level) > 1:
+            parents: List[Tuple[Key, Any]] = []
+            for start in range(0, len(level), self.fanout):
+                chunk = level[start : start + self.fanout]
+                inner = _InnerNode()
+                inner.children = [child for _, child in chunk]
+                inner.keys = [k for k, _ in chunk[1:]]
+                parents.append((chunk[0][0], inner))
+            self._node_count += len(parents)
+            self.perf.charge(Event.ALLOC, len(parents))
+            level = parents
+            height += 1
+        self._root = level[0][1]
+        self._height = height
+
+    # -- traversal ----------------------------------------------------------
+
+    def _child_slot(self, inner: _InnerNode, key: Key) -> int:
+        """Binary search for the child covering ``key``, charging compares."""
+        charge = self.perf.charge
+        lo, hi = 0, len(inner.keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            charge(Event.COMPARE)
+            charge(Event.DRAM_SEQ)
+            if key < inner.keys[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def _find_leaf(self, key: Key) -> Tuple[_LeafNode, List[_InnerNode], List[int]]:
+        node = self._root
+        path: List[_InnerNode] = []
+        slots: List[int] = []
+        charge = self.perf.charge
+        while isinstance(node, _InnerNode):
+            charge(Event.DRAM_HOP)
+            slot = self._child_slot(node, key)
+            path.append(node)
+            slots.append(slot)
+            node = node.children[slot]
+        charge(Event.DRAM_HOP)
+        return node, path, slots
+
+    def _leaf_rank(self, leaf: _LeafNode, key: Key) -> int:
+        """Rightmost index with leaf.keys[i] <= key, or -1."""
+        charge = self.perf.charge
+        lo, hi = 0, len(leaf.keys) - 1
+        ans = -1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            charge(Event.COMPARE)
+            charge(Event.DRAM_SEQ)
+            if leaf.keys[mid] <= key:
+                ans = mid
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return ans
+
+    # -- queries ----------------------------------------------------------
+
+    def get(self, key: Key) -> Optional[Value]:
+        leaf, _, _ = self._find_leaf(key)
+        idx = self._leaf_rank(leaf, key)
+        if idx >= 0 and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        return None
+
+    def range(self, lo: Key, hi: Key) -> Iterator[Tuple[Key, Value]]:
+        leaf, _, _ = self._find_leaf(lo)
+        idx = self._leaf_rank(leaf, lo)
+        if idx < 0 or (idx < len(leaf.keys) and leaf.keys[idx] < lo):
+            idx += 1
+        while leaf is not None:
+            while idx < len(leaf.keys):
+                if leaf.keys[idx] > hi:
+                    return
+                self.perf.charge(Event.DRAM_SEQ)
+                yield leaf.keys[idx], leaf.values[idx]
+                idx += 1
+            leaf = leaf.next
+            idx = 0
+            if leaf is not None:
+                self.perf.charge(Event.DRAM_HOP)
+
+    def __len__(self) -> int:
+        return self._n
+
+    # -- mutation -----------------------------------------------------------
+
+    def insert(self, key: Key, value: Value) -> None:
+        leaf, path, slots = self._find_leaf(key)
+        idx = self._leaf_rank(leaf, key)
+        if idx >= 0 and leaf.keys[idx] == key:
+            leaf.values[idx] = value
+            return
+        pos = idx + 1
+        self.perf.charge(Event.KEY_MOVE, len(leaf.keys) - pos)
+        leaf.keys.insert(pos, key)
+        leaf.values.insert(pos, value)
+        self._n += 1
+        if len(leaf.keys) > self.fanout:
+            self._split_leaf(leaf, path, slots)
+
+    def _split_leaf(
+        self, leaf: _LeafNode, path: List[_InnerNode], slots: List[int]
+    ) -> None:
+        charge = self.perf.charge
+        mid = len(leaf.keys) // 2
+        right = _LeafNode()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        right.next = leaf.next
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        leaf.next = right
+        charge(Event.ALLOC)
+        charge(Event.KEY_MOVE, len(right.keys))
+        self._node_count += 1
+        self._insert_into_parent(right.keys[0], right, path, slots)
+
+    def _insert_into_parent(
+        self, sep: Key, child: Any, path: List[_InnerNode], slots: List[int]
+    ) -> None:
+        charge = self.perf.charge
+        if not path:
+            root = _InnerNode()
+            root.keys = [sep]
+            root.children = [self._root, child]
+            self._root = root
+            self._height += 1
+            self._node_count += 1
+            charge(Event.ALLOC)
+            return
+        parent = path[-1]
+        slot = slots[-1]
+        charge(Event.KEY_MOVE, len(parent.keys) - slot)
+        parent.keys.insert(slot, sep)
+        parent.children.insert(slot + 1, child)
+        if len(parent.children) > self.fanout:
+            mid = len(parent.children) // 2
+            right = _InnerNode()
+            right.children = parent.children[mid:]
+            right.keys = parent.keys[mid:]
+            sep_up = parent.keys[mid - 1]
+            parent.children = parent.children[:mid]
+            parent.keys = parent.keys[: mid - 1]
+            charge(Event.ALLOC)
+            charge(Event.KEY_MOVE, len(right.keys))
+            self._node_count += 1
+            self._insert_into_parent(sep_up, right, path[:-1], slots[:-1])
+
+    def delete(self, key: Key) -> bool:
+        leaf, _, _ = self._find_leaf(key)
+        idx = self._leaf_rank(leaf, key)
+        if idx < 0 or leaf.keys[idx] != key:
+            return False
+        self.perf.charge(Event.KEY_MOVE, len(leaf.keys) - idx - 1)
+        del leaf.keys[idx]
+        del leaf.values[idx]
+        self._n -= 1
+        return True
+
+    # -- metadata -----------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        # Inner nodes only; the leaves are the key/pointer store itself
+        # (Table III counts them in the "Index+key" column).
+        inner = max(0, self._node_count - self._count_leaves())
+        return inner * (self.fanout * _SLOT_BYTES + _NODE_OVERHEAD) + 64
+
+    def stats(self) -> IndexStats:
+        return IndexStats(
+            depth_avg=float(self._height),
+            depth_max=self._height,
+            leaf_count=self._count_leaves(),
+        )
+
+    def _count_leaves(self) -> int:
+        node = self._root
+        while isinstance(node, _InnerNode):
+            node = node.children[0]
+        count = 0
+        while node is not None:
+            count += 1
+            node = node.next
+        return count
+
+    @classmethod
+    def capabilities(cls) -> Capabilities:
+        return Capabilities(
+            sorted_order=True,
+            updatable=True,
+            bounded_error=True,
+            concurrent_read=True,
+            concurrent_write=False,
+            inner_node="B+tree",
+            leaf_node="sorted array",
+            approximation="-",
+            insertion="node split",
+            retraining="-",
+        )

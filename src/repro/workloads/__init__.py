@@ -1,0 +1,62 @@
+"""Datasets and workloads (§III-A3).
+
+* :mod:`repro.workloads.distributions` — YCSB's request-key distributions
+  (uniform, zipfian, scrambled zipfian, latest).
+* :mod:`repro.workloads.datasets` — deterministic synthesizers for the
+  paper's key sets: YCSB (normal), OSM-like (complex multi-cluster CDF),
+  FACE-like (heavy low-range skew), plus uniform/sequential controls.
+* :mod:`repro.workloads.ycsb` — operation-stream generation for the
+  standard YCSB mixes (A, B, C, D, E, F) and read-only/write-only cases.
+"""
+
+from repro.workloads.datasets import (
+    face_keys,
+    osm_keys,
+    sequential_keys,
+    uniform_keys,
+    ycsb_keys,
+)
+from repro.workloads.distributions import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
+from repro.workloads.ycsb import (
+    Operation,
+    OpKind,
+    WorkloadSpec,
+    YCSB_A,
+    YCSB_B,
+    YCSB_C,
+    YCSB_D,
+    YCSB_E,
+    YCSB_F,
+    READ_ONLY,
+    WRITE_ONLY,
+    generate_operations,
+)
+
+__all__ = [
+    "face_keys",
+    "osm_keys",
+    "sequential_keys",
+    "uniform_keys",
+    "ycsb_keys",
+    "LatestGenerator",
+    "ScrambledZipfianGenerator",
+    "UniformGenerator",
+    "ZipfianGenerator",
+    "Operation",
+    "OpKind",
+    "WorkloadSpec",
+    "YCSB_A",
+    "YCSB_B",
+    "YCSB_C",
+    "YCSB_D",
+    "YCSB_E",
+    "YCSB_F",
+    "READ_ONLY",
+    "WRITE_ONLY",
+    "generate_operations",
+]

@@ -1,0 +1,128 @@
+"""Deterministic dataset synthesizers standing in for the paper's key sets.
+
+The paper loads 8-byte keys from YCSB (normal/uniform/zipfian synthetic),
+OSM (OpenStreetMap cell ids), and FACE (Facebook user ids).  The real
+traces are not redistributable, so each synthesizer reproduces the CDF
+*property* the evaluation depends on:
+
+* :func:`ycsb_keys` — a smooth normal-CDF key set; few PLA segments.
+* :func:`osm_keys` — a mixture of hundreds of irregular clusters: a
+  "more complex" CDF needing many more segments (the §III-B effect that
+  degrades every learned index on OSM).
+* :func:`face_keys` — extreme low-range skew: nearly all keys below
+  2^50 with a sprinkle reaching 2^64 - 1, which wipes out fixed-prefix
+  radix tables (Fig 11).
+
+All functions return sorted, unique Python ints and are deterministic in
+``seed``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import InvalidConfigurationError
+
+_U64_MAX = 2**64 - 1
+
+
+def _finish(raw: np.ndarray, n: int, seed: int) -> List[int]:
+    """Dedup/sort and top up to exactly ``n`` unique keys."""
+    keys = np.unique(raw.astype(np.uint64))
+    rng = np.random.default_rng(seed + 0xFACE)
+    while len(keys) < n:
+        extra = rng.integers(0, _U64_MAX, size=(n - len(keys)) * 2, dtype=np.uint64)
+        keys = np.unique(np.concatenate([keys, extra]))
+    return [int(k) for k in keys[:n]]
+
+
+def _check_n(n: int) -> None:
+    if n < 1:
+        raise InvalidConfigurationError(f"n must be >= 1, got {n}")
+
+
+def ycsb_keys(n: int, seed: int = 0) -> List[int]:
+    """Normally-distributed keys centred in the 64-bit space (§III-A3)."""
+    _check_n(n)
+    rng = np.random.default_rng(seed)
+    center = 2.0**62
+    sigma = 2.0**59
+    raw = rng.normal(center, sigma, size=int(n * 1.05))
+    raw = np.clip(raw, 0, _U64_MAX - 1)
+    return _finish(raw, n, seed)
+
+
+def osm_keys(n: int, seed: int = 0) -> List[int]:
+    """Keys with a complex, locally jagged CDF (OSM cell-id surrogate).
+
+    Built as a cumulative sum of heavy-tailed gaps: long dense runs broken
+    by jumps spanning eight orders of magnitude.  A piecewise-linear
+    approximator needs many more segments (or much larger errors) here
+    than on the smooth :func:`ycsb_keys` — the property behind §III-B's
+    "the CDF of the OSM is more complex" degradation of every learned
+    index.
+    """
+    _check_n(n)
+    rng = np.random.default_rng(seed)
+    over = int(n * 1.05)
+    # Gap magnitudes: log-uniform over [2^4, 2^36), with regime changes
+    # every ~thousand keys so density shifts at many scales.
+    regimes = rng.uniform(4, 36, size=max(1, over // 1000) + 1)
+    regime_of_key = np.repeat(regimes, 1000)[:over]
+    jitter = rng.uniform(-3, 3, size=over)
+    gaps = np.exp2(regime_of_key + jitter)
+    raw = np.cumsum(gaps)
+    raw *= (_U64_MAX * 0.9) / raw[-1]
+    return _finish(raw, n, seed)
+
+
+def face_keys(n: int, seed: int = 0, low_fraction: float = 0.999) -> List[int]:
+    """Heavily skewed ids: ``low_fraction`` of keys below 2^50, the rest
+    spread up to 2^64 - 1 (FACE surrogate; defeats fixed r-bit prefixes)."""
+    _check_n(n)
+    if not 0.0 < low_fraction < 1.0:
+        raise InvalidConfigurationError("low_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    n_high = max(1, n - int(n * low_fraction)) if n > 1 else 0
+    n_low = n - n_high
+    # Build each stratum to its exact size so sorting + truncation cannot
+    # silently drop the high-range outliers.
+    low = np.unique(
+        rng.integers(0, 2**50, size=int(n_low * 1.1) + 4, dtype=np.uint64)
+    )
+    while len(low) < n_low:
+        extra = rng.integers(0, 2**50, size=n_low, dtype=np.uint64)
+        low = np.unique(np.concatenate([low, extra]))
+    high = np.unique(
+        rng.integers(2**59, _U64_MAX, size=n_high * 2 + 4, dtype=np.uint64)
+    )
+    while len(high) < n_high:
+        extra = rng.integers(2**59, _U64_MAX, size=n_high + 4, dtype=np.uint64)
+        high = np.unique(np.concatenate([high, extra]))
+    keys = np.concatenate([low[:n_low], high[:n_high]])
+    return [int(k) for k in np.sort(keys)]
+
+
+def uniform_keys(n: int, seed: int = 0) -> List[int]:
+    """Uniform keys over the full 64-bit space (easiest possible CDF)."""
+    _check_n(n)
+    rng = np.random.default_rng(seed)
+    raw = rng.integers(0, _U64_MAX, size=int(n * 1.05), dtype=np.uint64)
+    return _finish(raw, n, seed)
+
+
+def sequential_keys(n: int, seed: int = 0, start: int = 1, step: int = 16) -> List[int]:
+    """Dense ascending keys (auto-increment ids; trivially linear CDF)."""
+    _check_n(n)
+    return list(range(start, start + n * step, step))
+
+
+DATASETS = {
+    "ycsb": ycsb_keys,
+    "osm": osm_keys,
+    "face": face_keys,
+    "uniform": uniform_keys,
+    "sequential": sequential_keys,
+}

@@ -1,0 +1,110 @@
+"""Request-key distributions, following the YCSB reference generators.
+
+:class:`ZipfianGenerator` is Gray et al.'s rejection-free algorithm as
+implemented in YCSB's ``ZipfianGenerator``; :class:`ScrambledZipfianGenerator`
+spreads the popular items across the key space with a 64-bit mix, which is
+what YCSB actually uses for request keys.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import InvalidConfigurationError
+
+
+def fnv_mix64(value: int) -> int:
+    """FNV-1a-style 64-bit scramble used to spread zipfian hot spots."""
+    h = 0xCBF29CE484222325
+    for _ in range(8):
+        h ^= value & 0xFF
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        value >>= 8
+    return h
+
+
+class UniformGenerator:
+    """Uniform over ``[0, n)``."""
+
+    def __init__(self, n: int, seed: int = 0):
+        if n < 1:
+            raise InvalidConfigurationError("n must be >= 1")
+        self.n = n
+        self._rng = random.Random(seed)
+
+    def next(self) -> int:
+        return self._rng.randrange(self.n)
+
+
+class ZipfianGenerator:
+    """Zipfian over ``[0, n)`` with exponent ``theta`` (YCSB default 0.99).
+
+    Item 0 is the most popular.  Uses the standard closed-form inverse
+    with precomputed zeta constants (Gray et al., SIGMOD'94).
+    """
+
+    def __init__(self, n: int, theta: float = 0.99, seed: int = 0):
+        if n < 1:
+            raise InvalidConfigurationError("n must be >= 1")
+        if not 0.0 < theta < 1.0:
+            raise InvalidConfigurationError("theta must be in (0, 1)")
+        self.n = n
+        self.theta = theta
+        self._rng = random.Random(seed)
+        self._zetan = self._zeta(n, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1 - (2.0 / n) ** (1 - theta)) / (1 - self._zeta2 / self._zetan)
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        # Exact for small n; Euler-Maclaurin tail approximation for large,
+        # keeping construction O(1)-ish for the 10^5..10^6 sizes we use.
+        cutoff = min(n, 10_000)
+        total = sum(1.0 / (i**theta) for i in range(1, cutoff + 1))
+        if n > cutoff:
+            # integral approximation of the remaining tail
+            total += ((n ** (1 - theta)) - (cutoff ** (1 - theta))) / (1 - theta)
+        return total
+
+    def next(self) -> int:
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5**self.theta:
+            return 1
+        return int(self.n * ((self._eta * u - self._eta + 1) ** self._alpha))
+
+    def sample(self, count: int):
+        return [min(self.next(), self.n - 1) for _ in range(count)]
+
+
+class ScrambledZipfianGenerator:
+    """Zipfian ranks scattered uniformly over ``[0, n)`` (YCSB request keys)."""
+
+    def __init__(self, n: int, theta: float = 0.99, seed: int = 0):
+        self.n = n
+        self._zipf = ZipfianGenerator(n, theta, seed)
+
+    def next(self) -> int:
+        return fnv_mix64(self._zipf.next()) % self.n
+
+
+class LatestGenerator:
+    """Skewed toward the most recently inserted item (YCSB-D reads).
+
+    ``advance()`` reflects a new insert; ``next()`` draws an index with
+    zipfian weight on the newest items.
+    """
+
+    def __init__(self, n: int, theta: float = 0.99, seed: int = 0):
+        self._max = n
+        self._zipf = ZipfianGenerator(max(n, 1), theta, seed)
+
+    def advance(self) -> None:
+        self._max += 1
+
+    def next(self) -> int:
+        rank = self._zipf.next() % self._max
+        return self._max - 1 - rank

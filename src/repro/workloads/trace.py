@@ -1,0 +1,85 @@
+"""Operation-trace record and replay.
+
+Benchmark reproducibility tooling: a generated operation stream can be
+saved to a newline-delimited text file and replayed later (or on another
+machine) so two index implementations see byte-identical workloads.
+
+Format — one operation per line::
+
+    read 42
+    update 42
+    insert 77
+    rmw 42
+    scan 42 50
+
+A header line (``# repro-trace v1``) guards against feeding arbitrary
+files to the replayer.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator, List
+
+from repro.errors import InvalidConfigurationError
+from repro.workloads.ycsb import Operation, OpKind
+
+_HEADER = "# repro-trace v1"
+
+
+def save_trace(path: str, ops: Iterable[Operation]) -> int:
+    """Write operations to ``path``; returns the number written."""
+    count = 0
+    with open(path, "w") as f:
+        f.write(_HEADER + "\n")
+        for op in ops:
+            if op.kind is OpKind.SCAN:
+                f.write(f"{op.kind.value} {op.key} {op.scan_length}\n")
+            else:
+                f.write(f"{op.kind.value} {op.key}\n")
+            count += 1
+    return count
+
+
+def load_trace(path: str) -> List[Operation]:
+    """Read a trace written by :func:`save_trace`."""
+    if not os.path.exists(path):
+        raise InvalidConfigurationError(f"no trace at {path}")
+    ops: List[Operation] = []
+    with open(path) as f:
+        header = f.readline().rstrip("\n")
+        if header != _HEADER:
+            raise InvalidConfigurationError(
+                f"{path} is not a repro trace (header {header!r})"
+            )
+        for lineno, line in enumerate(f, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            try:
+                kind = OpKind(parts[0])
+                key = int(parts[1])
+            except (ValueError, IndexError) as exc:
+                raise InvalidConfigurationError(
+                    f"{path}:{lineno}: bad trace line {line!r}"
+                ) from exc
+            if kind is OpKind.SCAN:
+                if len(parts) != 3:
+                    raise InvalidConfigurationError(
+                        f"{path}:{lineno}: scan needs a length"
+                    )
+                ops.append(Operation(kind, key, int(parts[2])))
+            else:
+                if len(parts) != 2:
+                    raise InvalidConfigurationError(
+                        f"{path}:{lineno}: unexpected extra fields"
+                    )
+                ops.append(Operation(kind, key))
+    return ops
+
+
+def iter_trace(path: str) -> Iterator[Operation]:
+    """Streaming variant of :func:`load_trace` for very large traces."""
+    for op in load_trace(path):
+        yield op

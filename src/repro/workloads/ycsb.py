@@ -1,0 +1,168 @@
+"""YCSB operation-stream generation (Cooper et al., SoCC'10).
+
+The standard core workloads:
+
+========  =====================================  ==================
+Workload  Mix                                    Request distribution
+========  =====================================  ==================
+A         50% read / 50% update                  zipfian
+B         95% read / 5% update                   zipfian
+C         100% read                              zipfian
+D         95% read / 5% insert, read-latest      latest
+E         95% scan / 5% insert                   zipfian
+F         50% read / 50% read-modify-write       zipfian
+========  =====================================  ==================
+
+plus the paper's read-only and write-only (100% insert) cases.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidConfigurationError
+from repro.workloads.distributions import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+)
+
+
+class OpKind(enum.Enum):
+    READ = "read"
+    UPDATE = "update"
+    INSERT = "insert"
+    SCAN = "scan"
+    RMW = "rmw"  # read-modify-write
+
+
+@dataclass(frozen=True)
+class Operation:
+    kind: OpKind
+    key: int
+    scan_length: int = 0
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Operation mix + request-key distribution."""
+
+    name: str
+    read: float = 0.0
+    update: float = 0.0
+    insert: float = 0.0
+    scan: float = 0.0
+    rmw: float = 0.0
+    distribution: str = "zipfian"  # zipfian | uniform | latest
+    scan_length: int = 50
+
+    def __post_init__(self):
+        total = self.read + self.update + self.insert + self.scan + self.rmw
+        if abs(total - 1.0) > 1e-9:
+            raise InvalidConfigurationError(
+                f"workload {self.name}: proportions sum to {total}, expected 1.0"
+            )
+        if self.distribution not in ("zipfian", "uniform", "latest"):
+            raise InvalidConfigurationError(
+                f"unknown distribution {self.distribution!r}"
+            )
+
+
+YCSB_A = WorkloadSpec("YCSB-A", read=0.5, update=0.5)
+YCSB_B = WorkloadSpec("YCSB-B", read=0.95, update=0.05)
+YCSB_C = WorkloadSpec("YCSB-C", read=1.0)
+YCSB_D = WorkloadSpec("YCSB-D", read=0.95, insert=0.05, distribution="latest")
+YCSB_E = WorkloadSpec("YCSB-E", scan=0.95, insert=0.05)
+YCSB_F = WorkloadSpec("YCSB-F", read=0.5, rmw=0.5)
+READ_ONLY = WorkloadSpec("read-only", read=1.0, distribution="uniform")
+WRITE_ONLY = WorkloadSpec("write-only", insert=1.0, distribution="uniform")
+
+STANDARD_WORKLOADS = {
+    w.name: w for w in (YCSB_A, YCSB_B, YCSB_C, YCSB_D, YCSB_E, YCSB_F)
+}
+
+
+def generate_operations(
+    spec: WorkloadSpec,
+    n_ops: int,
+    loaded_keys: Sequence[int],
+    insert_keys: Optional[Sequence[int]] = None,
+    seed: int = 0,
+) -> List[Operation]:
+    """Materialise ``n_ops`` operations against ``loaded_keys``.
+
+    ``insert_keys`` supplies fresh keys for INSERT ops (must be disjoint
+    from ``loaded_keys``); reads under the *latest* distribution favour
+    recently inserted keys, as YCSB-D specifies.
+    """
+    if not loaded_keys:
+        raise InvalidConfigurationError("loaded_keys must be non-empty")
+    needed_inserts = int(n_ops * spec.insert) + 1
+    if spec.insert > 0 and (
+        insert_keys is None or len(insert_keys) < needed_inserts
+    ):
+        raise InvalidConfigurationError(
+            f"workload {spec.name} needs >= {needed_inserts} insert keys"
+        )
+
+    rng = random.Random(seed)
+    n = len(loaded_keys)
+    if spec.distribution == "zipfian":
+        chooser = ScrambledZipfianGenerator(n, seed=seed)
+        pick = chooser.next
+    elif spec.distribution == "uniform":
+        chooser = UniformGenerator(n, seed=seed)
+        pick = chooser.next
+    else:  # latest
+        latest = LatestGenerator(n, seed=seed)
+        pick = latest.next
+
+    # key_ring holds every key the store will contain, in insert order,
+    # so 'latest' indexes resolve to real keys.
+    key_ring: List[int] = list(loaded_keys)
+    inserted = 0
+    kinds = (OpKind.READ, OpKind.UPDATE, OpKind.INSERT, OpKind.SCAN, OpKind.RMW)
+    weights = (spec.read, spec.update, spec.insert, spec.scan, spec.rmw)
+    ops: List[Operation] = []
+    for _ in range(n_ops):
+        kind = rng.choices(kinds, weights)[0]
+        if kind is OpKind.INSERT:
+            key = insert_keys[inserted]
+            inserted += 1
+            key_ring.append(key)
+            if spec.distribution == "latest":
+                latest.advance()
+            ops.append(Operation(kind, key))
+        else:
+            idx = pick()
+            if idx >= len(key_ring):
+                idx = len(key_ring) - 1
+            key = key_ring[idx]
+            if kind is OpKind.SCAN:
+                length = rng.randrange(1, spec.scan_length + 1)
+                ops.append(Operation(kind, key, length))
+            else:
+                ops.append(Operation(kind, key))
+    return ops
+
+
+def split_load_and_inserts(
+    keys: Sequence[int], load_fraction: float = 0.5, seed: int = 0
+) -> Tuple[List[int], List[int]]:
+    """Partition a key set into bulk-load keys and future insert keys.
+
+    The load half is returned sorted (bulk-load order); the insert half is
+    shuffled (arrival order).
+    """
+    if not 0.0 < load_fraction <= 1.0:
+        raise InvalidConfigurationError("load_fraction must be in (0, 1]")
+    rng = random.Random(seed)
+    shuffled = list(keys)
+    rng.shuffle(shuffled)
+    cut = int(len(shuffled) * load_fraction)
+    load = sorted(shuffled[:cut])
+    inserts = shuffled[cut:]
+    return load, inserts

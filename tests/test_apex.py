@@ -1,0 +1,130 @@
+"""Tests for the APEX extension (persistent-memory learned index)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import APEXIndex, PerfContext
+from repro.errors import InvalidConfigurationError
+
+
+def build(keys, perf=None, **kwargs):
+    idx = APEXIndex(perf=perf or PerfContext(), **kwargs)
+    idx.bulk_load([(k, k * 2) for k in keys])
+    return idx
+
+
+class TestAPEXBasics:
+    def test_bulk_load_and_get(self):
+        rng = random.Random(1)
+        keys = sorted(rng.sample(range(10**10), 10_000))
+        idx = build(keys)
+        for k in rng.sample(keys, 500):
+            assert idx.get(k) == k * 2
+        for k in rng.sample(range(10**10), 200):
+            if k not in set(keys):
+                assert idx.get(k) is None
+
+    def test_insert_update_delete(self):
+        idx = build(list(range(0, 2000, 2)))
+        for k in range(1, 2000, 2):
+            idx.insert(k, -k)
+        for k in range(1, 2000, 2):
+            assert idx.get(k) == -k
+        idx.insert(1, "updated")
+        assert idx.get(1) == "updated"
+        assert idx.delete(1) is True
+        assert idx.get(1) is None
+        assert idx.delete(1) is False
+        assert len(idx) == 1999
+
+    def test_range_merges_stash(self):
+        rng = random.Random(2)
+        keys = sorted(rng.sample(range(10**8), 3000))
+        idx = build(keys)
+        extra = rng.sample(range(10**8), 800)
+        oracle = {k: k * 2 for k in keys}
+        for k in extra:
+            idx.insert(k, -k)
+            oracle[k] = -k
+        lo, hi = sorted(oracle)[200], sorted(oracle)[2800]
+        got = list(idx.range(lo, hi))
+        expected = sorted((k, v) for k, v in oracle.items() if lo <= k <= hi)
+        assert got == expected
+
+    @given(
+        st.lists(st.integers(0, 10**8), min_size=1, max_size=300, unique=True),
+        st.lists(st.integers(0, 10**8), max_size=150),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_oracle_property(self, base, extra):
+        idx = build(sorted(base))
+        oracle = {k: k * 2 for k in base}
+        for k in extra:
+            idx.insert(k, k + 9)
+            oracle[k] = k + 9
+        assert len(idx) == len(oracle)
+        for k in list(oracle)[:80]:
+            assert idx.get(k) == oracle[k]
+
+
+class TestAPEXCostProfile:
+    def test_reads_touch_pm(self):
+        idx = build(list(range(0, 10_000, 3)))
+        perf = idx.perf
+        before = perf.counters.nvm_read
+        idx.get(3000)
+        assert perf.counters.nvm_read > before
+
+    def test_probe_is_one_block_on_hit(self):
+        """Most hits must cost exactly one PM block read (APEX's point)."""
+        rng = random.Random(3)
+        keys = sorted(rng.sample(range(10**10), 5000))
+        perf = PerfContext()
+        idx = build(keys, perf)
+        probes = rng.sample(keys, 500)
+        before = perf.counters.nvm_read
+        for k in probes:
+            idx.get(k)
+        reads = perf.counters.nvm_read - before
+        assert reads <= len(probes) * 1.5  # stash lookups add a few
+
+    def test_stash_overflow_triggers_smo(self):
+        idx = build(list(range(0, 4000, 4)), node_size=512)
+        rng = random.Random(4)
+        for k in rng.sample(range(1, 4000, 2), 1500):
+            idx.insert(k, k)
+        assert idx.retrain_stats.count > 0
+        # After SMOs the stashes are back under control.
+        stash = idx.stats().extra["stash_keys"]
+        assert stash <= len(idx) * 0.2
+
+    def test_recovery_is_metadata_only(self):
+        rng = random.Random(5)
+        keys = sorted(rng.sample(range(10**10), 20_000))
+        perf = PerfContext()
+        idx = build(keys, perf)
+        recover_ns = idx.recover_metadata()
+        # Orders of magnitude below a per-key rebuild (20K keys at
+        # ~70 ns/key would be ~1.4 ms).
+        assert recover_ns < 0.3e6
+
+
+class TestAPEXValidation:
+    def test_bad_config_rejected(self):
+        with pytest.raises(InvalidConfigurationError):
+            APEXIndex(node_size=4)
+        with pytest.raises(InvalidConfigurationError):
+            APEXIndex(density=0.0)
+        with pytest.raises(InvalidConfigurationError):
+            APEXIndex(stash_limit_fraction=0.0)
+
+    def test_empty_then_insert(self):
+        idx = APEXIndex(perf=PerfContext())
+        idx.bulk_load([])
+        assert idx.get(5) is None
+        idx.insert(5, "v")
+        assert idx.get(5) == "v"
+        assert len(idx) == 1

@@ -1,0 +1,283 @@
+"""Tests for the approximation-CDF algorithms (paper dimension #1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.approximation import (
+    Approximation,
+    GreedyPLAApproximator,
+    LSAApproximator,
+    LSAGapApproximator,
+    OptPLAApproximator,
+    SplineApproximator,
+    fit_least_squares,
+)
+from repro.core.approximation.spline import build_spline
+from repro.errors import InvalidConfigurationError
+
+sorted_keys = st.lists(
+    st.integers(min_value=0, max_value=2**40), min_size=1, max_size=300, unique=True
+).map(sorted)
+
+small_sorted_keys = st.lists(
+    st.integers(min_value=0, max_value=10_000), min_size=1, max_size=60, unique=True
+).map(sorted)
+
+
+def linear_keys(n, step=10, start=5):
+    return [start + i * step for i in range(n)]
+
+
+# ---------------------------------------------------------------- LSA
+
+
+class TestLeastSquares:
+    def test_perfectly_linear_keys_have_zero_error(self):
+        keys = linear_keys(100)
+        approx = LSAApproximator(segment_size=100).fit(keys)
+        assert approx.leaf_count == 1
+        assert approx.max_error == 0
+
+    def test_segment_count_is_ceil_n_over_size(self):
+        keys = linear_keys(250)
+        approx = LSAApproximator(segment_size=100).fit(keys)
+        assert approx.leaf_count == 3
+
+    def test_fit_least_squares_single_key(self):
+        assert fit_least_squares([42], 42) == (0.0, 0.0)
+
+    def test_smaller_segments_give_lower_error(self):
+        rng = random.Random(7)
+        keys = sorted(rng.sample(range(10**9), 5000))
+        coarse = LSAApproximator(segment_size=2500).fit(keys)
+        fine = LSAApproximator(segment_size=100).fit(keys)
+        assert fine.avg_error <= coarse.avg_error
+        assert fine.leaf_count > coarse.leaf_count
+
+    def test_rejects_bad_segment_size(self):
+        with pytest.raises(InvalidConfigurationError):
+            LSAApproximator(segment_size=0)
+
+    def test_rejects_empty_keys(self):
+        with pytest.raises(InvalidConfigurationError):
+            LSAApproximator().fit([])
+
+    @given(sorted_keys)
+    @settings(max_examples=50, deadline=None)
+    def test_predictions_stay_in_segment(self, keys):
+        approx = LSAApproximator(segment_size=32).fit(keys)
+        for key in keys:
+            seg = approx.segment_for(key)
+            pos = seg.predict(key)
+            assert 0 <= pos < seg.n
+
+
+# ---------------------------------------------------------------- Opt-PLA
+
+
+def _segment_errors_hold(approx: Approximation, keys, eps):
+    for seg in approx.segments:
+        assert seg.max_error <= eps, (
+            f"segment {seg} violates eps={eps}"
+        )
+    # Cross-check against a fresh measurement from global state.
+    for i, key in enumerate(keys):
+        seg = approx.segment_for(key)
+        local = i - seg.start
+        assert abs(seg.predict(key) - local) <= eps
+
+
+class TestOptPLA:
+    @given(sorted_keys, st.sampled_from([0, 1, 4, 16, 64]))
+    @settings(max_examples=80, deadline=None)
+    def test_error_bound_holds(self, keys, eps):
+        approx = OptPLAApproximator(eps=eps).fit(keys)
+        _segment_errors_hold(approx, keys, eps)
+
+    @given(sorted_keys, st.sampled_from([1, 4, 16]))
+    @settings(max_examples=50, deadline=None)
+    def test_never_more_segments_than_greedy(self, keys, eps):
+        opt = OptPLAApproximator(eps=eps).fit(keys)
+        greedy = GreedyPLAApproximator(eps=eps).fit(keys)
+        assert opt.leaf_count <= greedy.leaf_count
+
+    @given(small_sorted_keys, st.sampled_from([0, 1, 3]))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_bruteforce_optimum(self, keys, eps):
+        opt = OptPLAApproximator(eps=eps).fit(keys)
+        assert opt.leaf_count == _bruteforce_min_segments(keys, eps)
+
+    def test_linear_keys_collapse_to_one_segment(self):
+        keys = linear_keys(10_000)
+        approx = OptPLAApproximator(eps=1).fit(keys)
+        assert approx.leaf_count == 1
+        assert approx.max_error <= 1
+
+    def test_eps_tradeoff(self):
+        rng = random.Random(3)
+        keys = sorted(rng.sample(range(10**12), 20_000))
+        tight = OptPLAApproximator(eps=4).fit(keys)
+        loose = OptPLAApproximator(eps=256).fit(keys)
+        assert loose.leaf_count < tight.leaf_count
+        assert loose.max_error <= 256
+        assert tight.max_error <= 4
+
+    def test_rejects_negative_eps(self):
+        with pytest.raises(InvalidConfigurationError):
+            OptPLAApproximator(eps=-1)
+
+
+def _bruteforce_min_segments(keys, eps):
+    """Greedy maximal extension with exact LP feasibility (optimal count)."""
+    from scipy.optimize import linprog
+
+    def feasible(points):
+        if len(points) <= 2:
+            return True
+        # Variables (a, b): y - eps <= a*x + b <= y + eps for all points.
+        a_ub, b_ub = [], []
+        x0 = points[0][0]
+        for x, y in points:
+            lx = x - x0
+            a_ub.append([lx, 1.0])
+            b_ub.append(y + eps)
+            a_ub.append([-lx, -1.0])
+            b_ub.append(-(y - eps))
+        res = linprog(
+            c=[0.0, 0.0],
+            A_ub=a_ub,
+            b_ub=b_ub,
+            bounds=[(None, None), (None, None)],
+            method="highs",
+        )
+        return res.status == 0
+
+    count = 0
+    start = 0
+    n = len(keys)
+    while start < n:
+        end = start + 1
+        while end < n:
+            pts = [(float(keys[i]), float(i - start)) for i in range(start, end + 1)]
+            if not feasible(pts):
+                break
+            end += 1
+        count += 1
+        start = end
+    return count
+
+
+# ---------------------------------------------------------------- Greedy PLA
+
+
+class TestGreedyPLA:
+    @given(sorted_keys, st.sampled_from([0, 1, 8, 32]))
+    @settings(max_examples=60, deadline=None)
+    def test_error_bound_holds(self, keys, eps):
+        approx = GreedyPLAApproximator(eps=eps).fit(keys)
+        _segment_errors_hold(approx, keys, eps)
+
+    def test_anchored_at_first_key(self):
+        keys = linear_keys(1000)
+        approx = GreedyPLAApproximator(eps=4).fit(keys)
+        seg = approx.segments[0]
+        assert seg.predict(keys[0]) == 0
+
+
+# ---------------------------------------------------------------- Spline
+
+
+class TestSpline:
+    @given(sorted_keys, st.sampled_from([1, 8, 32]))
+    @settings(max_examples=60, deadline=None)
+    def test_spline_error_bound(self, keys, eps):
+        spline = build_spline(keys, eps)
+        for i, key in enumerate(keys):
+            assert abs(spline.predict(key) - i) <= eps
+
+    def test_knots_are_subset_of_keys(self):
+        rng = random.Random(11)
+        keys = sorted(rng.sample(range(10**9), 2000))
+        spline = build_spline(keys, 16)
+        key_set = set(keys)
+        for k, p in spline.knots:
+            assert k in key_set
+            assert keys[p] == k
+
+    def test_single_key(self):
+        spline = build_spline([99], 4)
+        assert spline.predict(99) == 0
+
+    def test_approximator_interface(self):
+        rng = random.Random(5)
+        keys = sorted(rng.sample(range(10**9), 1000))
+        approx = SplineApproximator(eps=16).fit(keys)
+        assert approx.leaf_count == len(build_spline(keys, 16)) - 1
+        for i, key in enumerate(keys):
+            seg = approx.segment_for(key)
+            assert abs((seg.start + seg.predict(key)) - i) <= 16 + 1
+
+
+# ---------------------------------------------------------------- LSA-gap
+
+
+class TestLSAGap:
+    def test_occupied_slots_hold_sorted_keys(self):
+        rng = random.Random(13)
+        keys = sorted(rng.sample(range(10**10), 3000))
+        approx = LSAGapApproximator(segment_size=1024, density=0.7).fit(keys)
+        for seg in approx.segments:
+            placed = [k for k in seg.slot_keys if k is not None]
+            assert placed == sorted(placed)
+            assert len(placed) == seg.n
+
+    def test_gap_error_is_much_lower_than_plain_lsa(self):
+        """The paper's core finding: gaps flatten the CDF (Fig 17a/b)."""
+        rng = random.Random(17)
+        keys = sorted(rng.sample(range(10**12), 20_000))
+        lsa = LSAApproximator(segment_size=4096).fit(keys)
+        gap = LSAGapApproximator(segment_size=4096, density=0.7).fit(keys)
+        assert gap.avg_error < lsa.avg_error / 4
+        assert gap.leaf_count == lsa.leaf_count
+
+    def test_density_controls_gap_fraction(self):
+        keys = linear_keys(1000)
+        approx = LSAGapApproximator(segment_size=1000, density=0.5).fit(keys)
+        seg = approx.segments[0]
+        assert seg.slots >= 2 * seg.n * 0.95
+
+    def test_rejects_bad_density(self):
+        with pytest.raises(InvalidConfigurationError):
+            LSAGapApproximator(density=0.0)
+        with pytest.raises(InvalidConfigurationError):
+            LSAGapApproximator(density=1.5)
+
+    @given(sorted_keys)
+    @settings(max_examples=40, deadline=None)
+    def test_every_key_findable_within_window(self, keys):
+        approx = LSAGapApproximator(segment_size=64, density=0.7).fit(keys)
+        for key in keys:
+            seg = approx.segment_for(key)
+            lo, hi = seg.search_window(key)
+            assert any(seg.slot_keys[s] == key for s in range(lo, hi + 1))
+
+
+# ---------------------------------------------------------------- shared
+
+
+class TestApproximationContainer:
+    def test_segment_for_routes_boundaries(self):
+        keys = list(range(0, 1000, 7))
+        approx = OptPLAApproximator(eps=2).fit(keys)
+        for i, key in enumerate(keys):
+            seg = approx.segment_for(key)
+            assert seg.start <= i < seg.start + seg.n
+
+    def test_avg_error_is_key_weighted(self):
+        keys = linear_keys(100)
+        approx = LSAApproximator(segment_size=50).fit(keys)
+        manual = sum(s.avg_error * s.n for s in approx.segments) / 100
+        assert approx.avg_error == pytest.approx(manual)

@@ -1,0 +1,142 @@
+"""Tests for the benchmark harness (runner, metrics, report)."""
+
+import os
+
+import pytest
+
+from repro import BPlusTree, PerfContext, ViperStore
+from repro.bench import (
+    BenchResult,
+    format_table,
+    measure_build,
+    run_index_ops,
+    run_store_ops,
+    thread_scaling,
+)
+from repro.perf import BandwidthModel, LatencyRecorder
+from repro.workloads import YCSB_A, READ_ONLY, generate_operations
+from repro.workloads.ycsb import OpKind, Operation
+
+
+def small_store():
+    perf = PerfContext()
+    store = ViperStore(BPlusTree(perf=perf), perf)
+    store.bulk_load([(i, i) for i in range(0, 2000, 2)])
+    return store, perf
+
+
+class TestRunners:
+    def test_run_store_ops_counts_everything(self):
+        store, perf = small_store()
+        ops = generate_operations(READ_ONLY, 500, list(range(0, 2000, 2)), seed=1)
+        recorder, bytes_per_op = run_store_ops(store, ops, perf)
+        assert len(recorder) == 500
+        assert recorder.mean() > 0
+        assert bytes_per_op > 0
+
+    def test_run_store_ops_mixed(self):
+        store, perf = small_store()
+        loaded = list(range(0, 2000, 2))
+        inserts = list(range(1, 2000, 2))
+        ops = generate_operations(YCSB_A, 400, loaded, inserts, seed=2)
+        recorder, _ = run_store_ops(store, ops, perf)
+        assert len(recorder) == 400
+
+    def test_run_index_ops_scan(self):
+        perf = PerfContext()
+        index = BPlusTree(perf=perf)
+        index.bulk_load([(i, i) for i in range(100)])
+        ops = [Operation(OpKind.SCAN, 10, 5), Operation(OpKind.READ, 50)]
+        recorder, _ = run_index_ops(index, ops, perf)
+        assert len(recorder) == 2
+
+    def test_rmw_costs_more_than_read(self):
+        store, perf = small_store()
+        read = [Operation(OpKind.READ, 100)] * 50
+        rmw = [Operation(OpKind.RMW, 100)] * 50
+        rec_read, _ = run_store_ops(store, read, perf)
+        rec_rmw, _ = run_store_ops(store, rmw, perf)
+        assert rec_rmw.mean() > rec_read.mean()
+
+    def test_measure_build(self):
+        perf = PerfContext()
+        index = BPlusTree(perf=perf)
+        ns = measure_build(
+            lambda: index.bulk_load([(i, i) for i in range(1000)]), perf
+        )
+        assert ns > 0
+
+
+class TestThreadScaling:
+    def test_rows_shape(self):
+        rows = thread_scaling(500.0, 900.0, 700.0, (1, 8, 32))
+        assert [r["threads"] for r in rows] == [1, 8, 32]
+        assert rows[0]["slowdown"] == 1.0
+
+    def test_saturation_monotonic(self):
+        bw = BandwidthModel(peak_gbps=2.0)
+        rows = thread_scaling(500.0, 900.0, 700.0, (1, 2, 4, 8, 16), bw)
+        slowdowns = [r["slowdown"] for r in rows]
+        assert slowdowns == sorted(slowdowns)
+        # Throughput never decreases with threads in this model...
+        tputs = [r["throughput_mops"] for r in rows]
+        assert tputs == sorted(tputs)
+        # ...but saturates: the last doubling gains almost nothing.
+        assert tputs[-1] < tputs[-2] * 1.05
+
+
+class TestBenchResult:
+    def test_from_recorder(self):
+        rec = LatencyRecorder()
+        rec.extend([100.0, 200.0, 300.0])
+        result = BenchResult.from_recorder("X", "w", rec, 64.0, note="hi")
+        assert result.ops == 3
+        assert result.mean_ns == pytest.approx(200.0)
+        assert result.extra["note"] == "hi"
+        assert len(result.row()) == 4
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["x", 1], ["yyyy", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) <= 2  # header/rows consistently padded
+
+    def test_write_result_creates_file(self, tmp_path, monkeypatch):
+        import repro.bench.report as report
+
+        monkeypatch.setattr(report, "RESULTS_DIR", str(tmp_path))
+        path = report.write_result("unit_test", "hello table")
+        assert os.path.exists(path)
+        with open(path) as f:
+            assert "hello table" in f.read()
+
+
+class TestFormatBars:
+    def test_scales_to_peak(self):
+        from repro.bench import format_bars
+
+        text = format_bars([("a", 10), ("b", 5)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_title_and_unit(self):
+        from repro.bench import format_bars
+
+        text = format_bars([("x", 2.5)], title="T", unit=" Mops")
+        assert text.splitlines()[0] == "T"
+        assert "2.5 Mops" in text
+
+    def test_rejects_empty_and_nonpositive(self):
+        import pytest as _pytest
+
+        from repro.bench import format_bars
+
+        with _pytest.raises(ValueError):
+            format_bars([])
+        with _pytest.raises(ValueError):
+            format_bars([("a", 0)])

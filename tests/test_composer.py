@@ -1,0 +1,251 @@
+"""Tests for ComposedIndex + retraining policies (paper dimensions #2-#4)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ComposedIndex
+from repro.core.approximation import (
+    GreedyPLAApproximator,
+    LSAApproximator,
+    LSAGapApproximator,
+    OptPLAApproximator,
+)
+from repro.core.insertion.strategies import (
+    BufferStrategy,
+    GappedStrategy,
+    InplaceStrategy,
+)
+from repro.core.retraining import ExpandOrSplitPolicy, SplitRetrainPolicy
+from repro.core.structures import (
+    ATSStructure,
+    BTreeStructure,
+    LRSStructure,
+    RMIStructure,
+)
+from repro.perf import PerfContext
+
+
+def fiting_like(perf=None):
+    return ComposedIndex(
+        OptPLAApproximator(eps=32),
+        BTreeStructure(fanout=16),
+        InplaceStrategy(reserve=64),
+        SplitRetrainPolicy(),
+        perf=perf or PerfContext(),
+    )
+
+
+def xindex_like(perf=None):
+    return ComposedIndex(
+        LSAApproximator(segment_size=256),
+        RMIStructure(branching=64),
+        BufferStrategy(buffer_capacity=64),
+        SplitRetrainPolicy(),
+        perf=perf or PerfContext(),
+    )
+
+
+def alex_like(perf=None):
+    return ComposedIndex(
+        LSAGapApproximator(segment_size=512, density=0.7),
+        ATSStructure(max_node_fences=16),
+        GappedStrategy(density=0.7, upper_density=0.8),
+        ExpandOrSplitPolicy(density=0.6),
+        perf=perf or PerfContext(),
+    )
+
+
+def novel_combination(perf=None):
+    """A combination no published index uses — the orthogonality claim."""
+    return ComposedIndex(
+        GreedyPLAApproximator(eps=16),
+        LRSStructure(eps=4),
+        GappedStrategy(density=0.6),
+        ExpandOrSplitPolicy(density=0.6),
+        perf=perf or PerfContext(),
+    )
+
+
+ALL_COMPOSED = [fiting_like, xindex_like, alex_like, novel_combination]
+
+
+def load_items(n, seed=0, spacing=2):
+    rng = random.Random(seed)
+    keys = sorted(rng.sample(range(0, 10**9, spacing), n))
+    return [(k, k * 3) for k in keys]
+
+
+class TestComposedLookup:
+    @pytest.mark.parametrize("make", ALL_COMPOSED)
+    def test_bulk_load_and_get(self, make):
+        idx = make()
+        items = load_items(5000)
+        idx.bulk_load(items)
+        assert len(idx) == 5000
+        rng = random.Random(5)
+        for k, v in rng.sample(items, 500):
+            assert idx.get(k) == v
+        present = {k for k, _ in items}
+        for k in rng.sample(range(10**9), 200):
+            if k not in present:
+                assert idx.get(k) is None
+
+    @pytest.mark.parametrize("make", ALL_COMPOSED)
+    def test_empty_index(self, make):
+        idx = make()
+        idx.bulk_load([])
+        assert len(idx) == 0
+        assert idx.get(42) is None
+
+    @pytest.mark.parametrize("make", ALL_COMPOSED)
+    def test_insert_into_empty(self, make):
+        idx = make()
+        idx.bulk_load([])
+        idx.insert(7, "seven")
+        assert idx.get(7) == "seven"
+        assert len(idx) == 1
+
+    @pytest.mark.parametrize("make", ALL_COMPOSED)
+    def test_range_scan(self, make):
+        idx = make()
+        items = load_items(3000, seed=1)
+        idx.bulk_load(items)
+        lo, hi = items[500][0], items[1500][0]
+        got = list(idx.range(lo, hi))
+        expected = [(k, v) for k, v in items if lo <= k <= hi]
+        assert got == expected
+
+    def test_bulk_load_rejects_unsorted(self):
+        idx = fiting_like()
+        with pytest.raises(ValueError):
+            idx.bulk_load([(5, 1), (3, 2)])
+        with pytest.raises(ValueError):
+            idx.bulk_load([(5, 1), (5, 2)])
+
+
+class TestComposedInsert:
+    @pytest.mark.parametrize("make", ALL_COMPOSED)
+    def test_heavy_inserts_stay_correct(self, make):
+        idx = make()
+        items = load_items(2000, seed=2)
+        idx.bulk_load(items)
+        oracle = dict(items)
+        rng = random.Random(6)
+        for k in rng.sample(range(1, 10**9, 2), 3000):
+            idx.insert(k, -k)
+            oracle[k] = -k
+        assert len(idx) == len(oracle)
+        for k in rng.sample(sorted(oracle), 800):
+            assert idx.get(k) == oracle[k]
+
+    @pytest.mark.parametrize("make", ALL_COMPOSED)
+    def test_update_existing(self, make):
+        idx = make()
+        idx.bulk_load(load_items(1000, seed=3))
+        key = load_items(1000, seed=3)[500][0]
+        assert idx.update(key, "replaced") is True
+        assert idx.get(key) == "replaced"
+        assert idx.update(10**12 + 1, "nope") is False
+
+    @pytest.mark.parametrize("make", ALL_COMPOSED)
+    def test_retrains_happen_and_are_recorded(self, make):
+        idx = make()
+        idx.bulk_load(load_items(2000, seed=4))
+        rng = random.Random(7)
+        for k in rng.sample(range(1, 10**9, 2), 5000):
+            idx.insert(k, k)
+        stats = idx.stats()
+        assert stats.retrain_count > 0
+        assert stats.retrain_keys > 0
+        assert stats.retrain_time_ns > 0
+
+    @pytest.mark.parametrize("make", ALL_COMPOSED)
+    def test_range_after_inserts(self, make):
+        idx = make()
+        items = load_items(1000, seed=8)
+        idx.bulk_load(items)
+        oracle = dict(items)
+        rng = random.Random(9)
+        for k in rng.sample(range(1, 10**9, 2), 1500):
+            idx.insert(k, -k)
+            oracle[k] = -k
+        keys = sorted(oracle)
+        lo, hi = keys[100], keys[-100]
+        got = list(idx.range(lo, hi))
+        expected = [(k, oracle[k]) for k in keys if lo <= k <= hi]
+        assert got == expected
+
+
+class TestComposedOracleProperty:
+    @given(
+        seed=st.integers(0, 10**6),
+        n_base=st.integers(10, 300),
+        n_ops=st.integers(0, 200),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_alex_like_against_oracle(self, seed, n_base, n_ops):
+        rng = random.Random(seed)
+        base_keys = sorted(rng.sample(range(10**7), n_base))
+        idx = alex_like()
+        idx.bulk_load([(k, k) for k in base_keys])
+        oracle = {k: k for k in base_keys}
+        for _ in range(n_ops):
+            k = rng.randrange(10**7)
+            if rng.random() < 0.6:
+                idx.insert(k, k + 1)
+                oracle[k] = k + 1
+            else:
+                assert idx.get(k) == oracle.get(k)
+        for k in rng.sample(sorted(oracle), min(50, len(oracle))):
+            assert idx.get(k) == oracle[k]
+
+
+class TestRetrainDynamics:
+    def test_gapped_retrains_far_less_often_than_buffered(self):
+        """Fig 18(b): ALEX retrains orders of magnitude less often."""
+        rng = random.Random(10)
+        items = load_items(4000, seed=11)
+        inserts = rng.sample(range(1, 10**9, 2), 20000)
+
+        buffered = xindex_like()
+        buffered.bulk_load(items)
+        for k in inserts:
+            buffered.insert(k, k)
+
+        gapped = alex_like()
+        gapped.bulk_load(items)
+        for k in inserts:
+            gapped.insert(k, k)
+
+        assert gapped.stats().retrain_count < buffered.stats().retrain_count / 4
+
+    def test_bigger_buffer_fewer_retrains(self):
+        """Fig 18(c): reserve size vs retrain count."""
+        rng = random.Random(12)
+        items = load_items(2000, seed=13)
+        inserts = rng.sample(range(1, 10**9, 2), 6000)
+        counts = []
+        for cap in (64, 512):
+            idx = ComposedIndex(
+                OptPLAApproximator(eps=32),
+                BTreeStructure(fanout=16),
+                BufferStrategy(buffer_capacity=cap),
+                SplitRetrainPolicy(),
+                perf=PerfContext(),
+            )
+            idx.bulk_load(items)
+            for k in inserts:
+                idx.insert(k, k)
+            counts.append(idx.stats().retrain_count)
+        assert counts[1] < counts[0]
+
+    def test_stats_shape(self):
+        idx = fiting_like()
+        idx.bulk_load(load_items(500))
+        stats = idx.stats()
+        assert stats.leaf_count >= 1
+        assert stats.depth_avg >= 1.0
+        assert idx.size_bytes() > 0

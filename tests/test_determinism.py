@@ -1,0 +1,63 @@
+"""Determinism: identical runs must produce identical simulated numbers.
+
+The whole methodology rests on the simulated clock being a pure function
+of the operation stream — no wall-clock, no unseeded randomness.  These
+tests run complete experiments twice and require bit-identical results.
+"""
+
+import pytest
+
+from repro import (
+    ALEXIndex,
+    CCEH,
+    DynamicPGMIndex,
+    LIPPIndex,
+    PerfContext,
+    SkipList,
+    ViperStore,
+)
+from repro.bench import run_store_ops
+from repro.workloads import YCSB_A, generate_operations, osm_keys, ycsb_keys
+from repro.workloads.ycsb import split_load_and_inserts
+
+
+def run_experiment(factory):
+    keys = ycsb_keys(8000, seed=3)
+    load, inserts = split_load_and_inserts(keys, 0.5, seed=3)
+    ops = generate_operations(YCSB_A, 3000, load, inserts, seed=3)
+    perf = PerfContext()
+    store = ViperStore(factory(perf), perf)
+    store.bulk_load([(k, k) for k in load])
+    recorder, bytes_per_op = run_store_ops(store, ops, perf)
+    return (
+        recorder.total_time_ns(),
+        recorder.p999(),
+        bytes_per_op,
+        perf.counters.as_dict(),
+    )
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda p: ALEXIndex(perf=p),
+        lambda p: DynamicPGMIndex(perf=p),
+        lambda p: LIPPIndex(perf=p),
+        lambda p: SkipList(perf=p),  # seeded RNG must make this exact too
+        lambda p: CCEH(segment_bits=8, perf=p),
+    ],
+)
+def test_end_to_end_runs_are_bit_identical(factory):
+    assert run_experiment(factory) == run_experiment(factory)
+
+
+def test_datasets_are_deterministic_across_calls():
+    assert ycsb_keys(5000, seed=9) == ycsb_keys(5000, seed=9)
+    assert osm_keys(5000, seed=9) == osm_keys(5000, seed=9)
+
+
+def test_workloads_are_deterministic():
+    keys = ycsb_keys(2000, seed=1)
+    a = generate_operations(YCSB_A, 1000, keys, seed=5)
+    b = generate_operations(YCSB_A, 1000, keys, seed=5)
+    assert a == b

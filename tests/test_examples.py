@@ -1,0 +1,50 @@
+"""Smoke tests: the shipped examples must run end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, *args, timeout=600):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_compare_indexes_small(self):
+        result = run_example("compare_indexes.py", "8000")
+        assert result.returncode == 0, result.stderr
+        assert "CCEH" in result.stdout
+        assert "Mops/s" in result.stdout
+
+    def test_compose_your_own(self):
+        result = run_example("compose_your_own.py")
+        assert result.returncode == 0, result.stderr
+        assert "ALEX (published)" in result.stdout
+        assert "OptPLA+LRS+gap" in result.stdout
+
+    @pytest.mark.slow
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "all good." in result.stdout
+
+    @pytest.mark.slow
+    def test_tail_latency_hunt(self):
+        result = run_example("tail_latency_hunt.py")
+        assert result.returncode == 0, result.stderr
+        assert "worst-case ratio RMI/PGM" in result.stdout
+
+    @pytest.mark.slow
+    def test_dataset_sensitivity(self):
+        result = run_example("dataset_sensitivity.py")
+        assert result.returncode == 0, result.stderr
+        assert "face (skewed)" in result.stdout

@@ -1,0 +1,81 @@
+"""Tests for the hot-aware ATS extension (§V-B1's future direction)."""
+
+import random
+from bisect import bisect_right
+
+import pytest
+
+from repro.core.structures import ATSStructure, HotATSStructure
+from repro.errors import EmptyIndexError, InvalidConfigurationError
+from repro.perf import PerfContext
+from repro.workloads import osm_keys
+
+
+def fences_and_weights(n=5000, hot_fraction=0.05, seed=1):
+    fences = osm_keys(n, seed=seed)
+    rng = random.Random(seed)
+    weights = [1.0] * n
+    hot = rng.sample(range(n), int(n * hot_fraction))
+    for i in hot:
+        weights[i] = 500.0
+    return fences, weights, hot
+
+
+class TestHotATSCorrectness:
+    def test_routing_matches_bisect(self):
+        fences, weights, _ = fences_and_weights()
+        s = HotATSStructure(max_node_fences=16, perf=PerfContext())
+        s.build_weighted(fences, weights)
+        rng = random.Random(2)
+        for key in list(fences[:200]) + [rng.randrange(2**50) for _ in range(300)]:
+            assert s.lookup(key) == max(0, bisect_right(fences, key) - 1)
+
+    def test_unweighted_build_still_works(self):
+        fences, _, _ = fences_and_weights(1000)
+        s = HotATSStructure(max_node_fences=16, perf=PerfContext())
+        s.build(fences)
+        for key in fences[::37]:
+            assert s.lookup(key) == bisect_right(fences, key) - 1
+
+    def test_zero_weight_regions_terminate_early(self):
+        fences, _, _ = fences_and_weights(2000)
+        s = HotATSStructure(max_node_fences=16, error_threshold=1,
+                            perf=PerfContext())
+        s.build_weighted(fences, [0.0] * len(fences))
+        # Nothing is ever queried, so nothing justifies depth.
+        assert s.max_depth() == 1
+
+
+class TestHotATSOptimisation:
+    def test_hot_keys_sit_shallower(self):
+        fences, weights, hot = fences_and_weights(8000, seed=3)
+        s = HotATSStructure(max_node_fences=16, error_threshold=2,
+                            perf=PerfContext())
+        s.build_weighted(fences, weights)
+        plain = HotATSStructure(max_node_fences=16, error_threshold=2,
+                                perf=PerfContext())
+        plain.build(fences)
+        assert s.weighted_avg_depth() <= plain.avg_depth() + 1e-9
+
+    def test_weighted_depth_reported(self):
+        fences, weights, _ = fences_and_weights(2000)
+        s = HotATSStructure(perf=PerfContext())
+        s.build_weighted(fences, weights)
+        assert s.weighted_avg_depth() >= 1.0
+
+
+class TestHotATSValidation:
+    def test_weight_length_mismatch(self):
+        s = HotATSStructure(perf=PerfContext())
+        with pytest.raises(InvalidConfigurationError):
+            s.build_weighted([1, 2, 3], [1.0, 2.0])
+
+    def test_negative_weights_rejected(self):
+        s = HotATSStructure(perf=PerfContext())
+        with pytest.raises(InvalidConfigurationError):
+            s.build_weighted([1, 2], [1.0, -1.0])
+
+    def test_weighted_depth_requires_build(self):
+        s = HotATSStructure(perf=PerfContext())
+        with pytest.raises(EmptyIndexError):
+            s.weighted_avg_depth()

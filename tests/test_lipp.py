@@ -1,0 +1,148 @@
+"""Tests for the LIPP extension (precise-position learned index)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ALEXIndex, LIPPIndex, PerfContext
+from repro.errors import InvalidConfigurationError
+from repro.learned.lipp import _Entry, _Node
+
+
+def build(keys, perf=None, **kwargs):
+    idx = LIPPIndex(perf=perf or PerfContext(), **kwargs)
+    idx.bulk_load([(k, k * 2) for k in keys])
+    return idx
+
+
+class TestLIPPPrecisePositions:
+    def test_every_lookup_is_exact(self):
+        """The defining property: a get never searches — the predicted
+        slot either holds the key or proves its absence."""
+        rng = random.Random(1)
+        keys = sorted(rng.sample(range(10**12), 20_000))
+        perf = PerfContext()
+        idx = build(keys, perf)
+        mark = perf.begin()
+        for k in rng.sample(keys, 2000):
+            assert idx.get(k) == k * 2
+        measured = perf.end(mark)
+        # No correction search: zero galloping/binary probes, only one
+        # equality comparison per reached entry.
+        assert measured.counters.compare <= 2000
+        assert measured.counters.dram_seq == 0
+
+    def test_slot_order_is_key_order(self):
+        rng = random.Random(2)
+        keys = sorted(rng.sample(range(10**10), 5000))
+        idx = build(keys)
+
+        def in_order(node):
+            for cell in node.slots:
+                if isinstance(cell, _Entry):
+                    yield cell.key
+                elif isinstance(cell, _Node):
+                    yield from in_order(cell)
+
+        assert list(in_order(idx._root)) == keys
+
+    def test_reads_beat_alex(self):
+        """The §V-B prediction the paper could not test."""
+        rng = random.Random(3)
+        keys = sorted(rng.sample(range(10**12), 30_000))
+        probes = rng.sample(keys, 3000)
+        costs = {}
+        for name, factory in (
+            ("lipp", lambda p: LIPPIndex(perf=p)),
+            ("alex", lambda p: ALEXIndex(perf=p)),
+        ):
+            perf = PerfContext()
+            idx = factory(perf)
+            idx.bulk_load([(k, k) for k in keys])
+            mark = perf.begin()
+            for k in probes:
+                idx.get(k)
+            costs[name] = perf.end(mark).time_ns
+        assert costs["lipp"] < costs["alex"]
+
+
+class TestLIPPMutations:
+    def test_insert_get_delete_roundtrip(self):
+        idx = build(list(range(0, 1000, 2)))
+        for k in range(1, 1000, 2):
+            idx.insert(k, -k)
+        for k in range(1, 1000, 2):
+            assert idx.get(k) == -k
+        assert len(idx) == 1000
+        for k in range(1, 1000, 4):
+            assert idx.delete(k) is True
+        for k in range(1, 1000, 4):
+            assert idx.get(k) is None
+        assert idx.delete(10**15) is False
+
+    def test_conflict_chains_create_children(self):
+        idx = build([10, 20])
+        # Force collisions by inserting keys between existing ones.
+        for k in (11, 12, 13, 14, 15):
+            idx.insert(k, k)
+        for k in (10, 11, 12, 13, 14, 15, 20):
+            assert idx.get(k) == k * 2 if k in (10, 20) else True
+        stats = idx.stats()
+        assert stats.depth_max >= 2
+
+    def test_rebuild_triggers_and_flattens(self):
+        rng = random.Random(4)
+        base = sorted(rng.sample(range(0, 10**9, 2), 2000))
+        idx = build(base)
+        for k in rng.sample(range(1, 10**9, 2), 6000):
+            idx.insert(k, k)
+        assert idx.retrain_stats.count > 0
+        # After rebuilds the average depth stays modest.
+        assert idx.stats().depth_avg < 6
+
+    def test_range_sorted_and_complete(self):
+        rng = random.Random(5)
+        keys = sorted(rng.sample(range(10**8), 2000))
+        idx = build(keys)
+        lo, hi = keys[300], keys[1500]
+        got = list(idx.range(lo, hi))
+        assert got == [(k, k * 2) for k in keys if lo <= k <= hi]
+
+    @given(
+        st.lists(st.integers(0, 10**9), min_size=1, max_size=300, unique=True),
+        st.lists(st.integers(0, 10**9), max_size=200),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_oracle_property(self, base, extra):
+        idx = build(sorted(base))
+        oracle = {k: k * 2 for k in base}
+        for k in extra:
+            idx.insert(k, k + 1)
+            oracle[k] = k + 1
+        assert len(idx) == len(oracle)
+        for k in list(oracle)[:100]:
+            assert idx.get(k) == oracle[k]
+
+
+class TestLIPPConfig:
+    def test_rejects_bad_slot_factor(self):
+        with pytest.raises(InvalidConfigurationError):
+            LIPPIndex(slot_factor=0.5)
+
+    def test_empty_and_single(self):
+        idx = LIPPIndex(perf=PerfContext())
+        idx.bulk_load([])
+        assert idx.get(1) is None
+        assert len(idx) == 0
+        idx.insert(5, "five")
+        assert idx.get(5) == "five"
+        assert len(idx) == 1
+
+    def test_size_and_stats(self):
+        idx = build(list(range(0, 10_000, 3)))
+        assert idx.size_bytes() > 0
+        assert idx.key_store_bytes() == 0  # entries live inside the nodes
+        stats = idx.stats()
+        assert stats.extra["entries"] == len(idx)

@@ -1,0 +1,90 @@
+"""Tests for the per-operation cost profiler."""
+
+import pytest
+
+from repro import BPlusTree, PerfContext
+from repro.perf import Event, Profiler
+
+
+def profiled_index(n=2000):
+    perf = PerfContext()
+    index = BPlusTree(perf=perf)
+    index.bulk_load([(i, i) for i in range(n)])
+    return index, perf
+
+
+class TestProfiler:
+    def test_counts_and_mean(self):
+        index, perf = profiled_index()
+        profiler = Profiler(perf)
+        for k in range(0, 100, 10):
+            with profiler.operation(f"get {k}"):
+                index.get(k)
+        assert profiler.op_count == 10
+        assert profiler.mean_time_ns() > 0
+
+    def test_time_by_event_sums_to_total(self):
+        index, perf = profiled_index()
+        profiler = Profiler(perf)
+        for k in range(50):
+            with profiler.operation():
+                index.get(k)
+        assert sum(profiler.time_by_event().values()) == pytest.approx(
+            profiler.total_time_ns()
+        )
+
+    def test_worst_keeps_costliest(self):
+        index, perf = profiled_index()
+        profiler = Profiler(perf, keep_worst=3)
+        with profiler.operation("cheap"):
+            perf.charge(Event.COMPARE)
+        with profiler.operation("expensive"):
+            perf.charge(Event.NVM_READ, 100)
+        with profiler.operation("middling"):
+            perf.charge(Event.DRAM_HOP, 2)
+        worst = profiler.worst()
+        assert worst[0].label == "expensive"
+        assert worst[0].dominant == Event.NVM_READ
+        assert [w.label for w in worst] == ["expensive", "middling", "cheap"]
+
+    def test_worst_bounded_by_keep(self):
+        _, perf = profiled_index(10)
+        profiler = Profiler(perf, keep_worst=2)
+        for i in range(10):
+            with profiler.operation(str(i)):
+                perf.charge(Event.COMPARE, i + 1)
+        assert len(profiler.worst()) == 2
+        assert {w.label for w in profiler.worst()} == {"8", "9"}
+
+    def test_run_helper_returns_value(self):
+        index, perf = profiled_index()
+        profiler = Profiler(perf)
+        assert profiler.run("get", lambda: index.get(7)) == 7
+        assert profiler.op_count == 1
+
+    def test_exceptions_not_recorded(self):
+        _, perf = profiled_index(10)
+        profiler = Profiler(perf)
+        with pytest.raises(RuntimeError):
+            with profiler.operation("boom"):
+                raise RuntimeError("boom")
+        assert profiler.op_count == 0
+
+    def test_explain_formats(self):
+        index, perf = profiled_index()
+        profiler = Profiler(perf)
+        with profiler.operation("the-op"):
+            index.get(3)
+        text = profiler.explain()
+        assert "1 ops" in text
+        assert "the-op" in text
+        assert "dominated by" in text
+
+    def test_explain_empty(self):
+        _, perf = profiled_index(10)
+        assert "no operations" in Profiler(perf).explain()
+
+    def test_mean_requires_ops(self):
+        _, perf = profiled_index(10)
+        with pytest.raises(ValueError):
+            Profiler(perf).mean_time_ns()

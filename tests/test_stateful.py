@@ -1,0 +1,239 @@
+"""Stateful (model-based) property tests with hypothesis state machines.
+
+A dictionary + sorted list is the model; the store/index under test must
+agree with it after any interleaving of puts, gets, deletes, scans,
+crashes and recoveries.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro import ALEXIndex, BPlusTree, DynamicPGMIndex, PerfContext, ViperStore
+
+keys_st = st.integers(min_value=0, max_value=10_000)
+values_st = st.integers(min_value=-(10**6), max_value=10**6)
+
+
+class ViperStoreMachine(RuleBasedStateMachine):
+    """The Viper store against a dict model, including crash/recovery."""
+
+    def __init__(self):
+        super().__init__()
+        self.perf = PerfContext()
+        self.store = ViperStore(BPlusTree(perf=self.perf), self.perf)
+        self.store.bulk_load([])
+        self.model = {}
+
+    @rule(key=keys_st, value=values_st)
+    def put(self, key, value):
+        self.store.put(key, value)
+        self.model[key] = value
+
+    @rule(key=keys_st)
+    def get(self, key):
+        assert self.store.get(key) == self.model.get(key)
+
+    @rule(key=keys_st)
+    def delete(self, key):
+        expected = key in self.model
+        assert self.store.delete(key) is expected
+        self.model.pop(key, None)
+
+    @rule(start=keys_st, count=st.integers(1, 20))
+    def scan(self, start, count):
+        got = self.store.scan(start, count)
+        expected = sorted(
+            (k, v) for k, v in self.model.items() if k >= start
+        )[:count]
+        assert got == expected
+
+    @rule()
+    def crash_and_recover(self):
+        self.store.crash()
+        self.store.recover(lambda: BPlusTree(perf=self.perf))
+
+    @rule(key=keys_st, value=values_st)
+    def torn_put_then_recover(self, key, value):
+        # A torn write must not change any visible state.
+        self.store.crash_during_put(key, value)
+        self.store.recover(lambda: BPlusTree(perf=self.perf))
+
+    @invariant()
+    def count_matches(self):
+        assert len(self.store) == len(self.model)
+
+
+class ALEXIndexMachine(RuleBasedStateMachine):
+    """ALEX (gapped leaves, ATS, expand/split) against a dict model."""
+
+    def __init__(self):
+        super().__init__()
+        self.index = ALEXIndex(segment_size=256, perf=PerfContext())
+        base = [(k, k) for k in range(0, 2000, 4)]
+        self.index.bulk_load(base)
+        self.model = dict(base)
+
+    @rule(key=keys_st, value=values_st)
+    def insert(self, key, value):
+        self.index.insert(key, value)
+        self.model[key] = value
+
+    @rule(key=keys_st)
+    def get(self, key):
+        assert self.index.get(key) == self.model.get(key)
+
+    @rule(key=keys_st)
+    def delete(self, key):
+        expected = key in self.model
+        assert self.index.delete(key) is expected
+        self.model.pop(key, None)
+
+    @rule(lo=keys_st, hi=keys_st)
+    def range_scan(self, lo, hi):
+        lo, hi = min(lo, hi), max(lo, hi)
+        got = list(self.index.range(lo, hi))
+        expected = sorted(
+            (k, v) for k, v in self.model.items() if lo <= k <= hi
+        )
+        assert got == expected
+
+    @invariant()
+    def count_matches(self):
+        assert len(self.index) == len(self.model)
+
+
+class DynamicPGMMachine(RuleBasedStateMachine):
+    """The LSM-of-PGMs against a dict model (tombstones included)."""
+
+    def __init__(self):
+        super().__init__()
+        self.index = DynamicPGMIndex(base_level_size=16, perf=PerfContext())
+        base = [(k, k) for k in range(0, 500, 2)]
+        self.index.bulk_load(base)
+        self.model = dict(base)
+
+    @rule(key=keys_st, value=values_st)
+    def insert(self, key, value):
+        self.index.insert(key, value)
+        self.model[key] = value
+
+    @rule(key=keys_st, value=values_st)
+    def update(self, key, value):
+        expected = key in self.model
+        assert self.index.update(key, value) is expected
+        if expected:
+            self.model[key] = value
+
+    @rule(key=keys_st)
+    def get(self, key):
+        assert self.index.get(key) == self.model.get(key)
+
+    @rule(key=keys_st)
+    def delete(self, key):
+        expected = key in self.model
+        assert self.index.delete(key) is expected
+        self.model.pop(key, None)
+
+    @rule(lo=keys_st, hi=keys_st)
+    def range_scan(self, lo, hi):
+        lo, hi = min(lo, hi), max(lo, hi)
+        got = list(self.index.range(lo, hi))
+        expected = sorted(
+            (k, v) for k, v in self.model.items() if lo <= k <= hi
+        )
+        assert got == expected
+
+
+common = settings(max_examples=12, stateful_step_count=30, deadline=None)
+
+TestViperStoreStateful = ViperStoreMachine.TestCase
+TestViperStoreStateful.settings = common
+TestALEXStateful = ALEXIndexMachine.TestCase
+TestALEXStateful.settings = common
+TestDynamicPGMStateful = DynamicPGMMachine.TestCase
+TestDynamicPGMStateful.settings = common
+
+
+class WormholeMachine(RuleBasedStateMachine):
+    """Wormhole's leaf-split bookkeeping under mixed churn."""
+
+    def __init__(self):
+        super().__init__()
+        from repro import Wormhole
+
+        self.index = Wormhole(leaf_size=16, perf=PerfContext())
+        base = [(k, k) for k in range(0, 600, 3)]
+        self.index.bulk_load(base)
+        self.model = dict(base)
+
+    @rule(key=keys_st, value=values_st)
+    def insert(self, key, value):
+        self.index.insert(key, value)
+        self.model[key] = value
+
+    @rule(key=keys_st)
+    def get(self, key):
+        assert self.index.get(key) == self.model.get(key)
+
+    @rule(key=keys_st)
+    def delete(self, key):
+        expected = key in self.model
+        assert self.index.delete(key) is expected
+        self.model.pop(key, None)
+
+    @invariant()
+    def leaves_bounded_and_ordered(self):
+        for leaf in self.index._leaves:
+            assert len(leaf.keys) <= self.index.leaf_size
+            assert leaf.keys == sorted(leaf.keys)
+        assert self.index._fences == sorted(self.index._fences)
+
+    @invariant()
+    def count_matches(self):
+        assert len(self.index) == len(self.model)
+
+
+class MasstreeMachine(RuleBasedStateMachine):
+    """Masstree over byte keys, exercising the trie layering."""
+
+    def __init__(self):
+        super().__init__()
+        from repro import Masstree
+
+        self.tree = Masstree(perf=PerfContext())
+        self.model = {}
+
+    @rule(
+        prefix=st.sampled_from([b"", b"shared--", b"shared--deep----"]),
+        tail=st.binary(min_size=1, max_size=6),
+        value=values_st,
+    )
+    def put(self, prefix, tail, value):
+        key = prefix + tail
+        self.tree.put_bytes(key, value)
+        self.model[key] = value
+
+    @rule(
+        prefix=st.sampled_from([b"", b"shared--"]),
+        tail=st.binary(min_size=1, max_size=6),
+    )
+    def get(self, prefix, tail):
+        key = prefix + tail
+        assert self.tree.get_bytes(key) == self.model.get(key)
+
+    @rule(
+        prefix=st.sampled_from([b"", b"shared--"]),
+        tail=st.binary(min_size=1, max_size=6),
+    )
+    def delete(self, prefix, tail):
+        key = prefix + tail
+        expected = key in self.model
+        assert self.tree.delete_bytes(key) is expected
+        self.model.pop(key, None)
+
+
+TestWormholeStateful = WormholeMachine.TestCase
+TestWormholeStateful.settings = common
+TestMasstreeStateful = MasstreeMachine.TestCase
+TestMasstreeStateful.settings = common

@@ -1,0 +1,82 @@
+"""Tests for operation-trace record/replay."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidConfigurationError
+from repro.workloads import YCSB_E, generate_operations, sequential_keys
+from repro.workloads.trace import iter_trace, load_trace, save_trace
+from repro.workloads.ycsb import Operation, OpKind
+
+op_strategy = st.builds(
+    lambda kind, key, length: Operation(
+        kind, key, length if kind is OpKind.SCAN else 0
+    ),
+    st.sampled_from(list(OpKind)),
+    st.integers(0, 2**63),
+    st.integers(1, 100),
+)
+
+
+class TestTraceRoundtrip:
+    @given(st.lists(op_strategy, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_save_load_identity(self, ops):
+        import os
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as d:
+            path = os.path.join(d, "t.trace")
+            assert save_trace(path, ops) == len(ops)
+            assert load_trace(path) == ops
+
+    def test_real_workload_roundtrip(self, tmp_path):
+        loaded = sequential_keys(500)
+        inserts = [k + 1 for k in loaded]
+        ops = generate_operations(YCSB_E, 300, loaded, inserts, seed=1)
+        path = tmp_path / "ycsb_e.trace"
+        save_trace(str(path), ops)
+        assert load_trace(str(path)) == ops
+        assert list(iter_trace(str(path))) == ops
+
+    def test_scan_lengths_survive(self, tmp_path):
+        ops = [Operation(OpKind.SCAN, 5, 42)]
+        path = tmp_path / "s.trace"
+        save_trace(str(path), ops)
+        assert load_trace(str(path))[0].scan_length == 42
+
+
+class TestTraceValidation:
+    def test_missing_file(self):
+        with pytest.raises(InvalidConfigurationError):
+            load_trace("/nonexistent/trace")
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("not a trace\nread 1\n")
+        with pytest.raises(InvalidConfigurationError, match="not a repro trace"):
+            load_trace(str(path))
+
+    def test_garbage_line(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# repro-trace v1\nfrobnicate 1\n")
+        with pytest.raises(InvalidConfigurationError, match="bad trace line"):
+            load_trace(str(path))
+
+    def test_scan_without_length(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# repro-trace v1\nscan 1\n")
+        with pytest.raises(InvalidConfigurationError, match="scan needs"):
+            load_trace(str(path))
+
+    def test_extra_fields_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# repro-trace v1\nread 1 2\n")
+        with pytest.raises(InvalidConfigurationError, match="extra fields"):
+            load_trace(str(path))
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "ok.trace"
+        path.write_text("# repro-trace v1\n\n# comment\nread 7\n")
+        assert load_trace(str(path)) == [Operation(OpKind.READ, 7)]

@@ -1,0 +1,104 @@
+"""Tests for the hyper-parameter grid search."""
+
+import pytest
+
+from repro import BPlusTree, PGMIndex
+from repro.bench.tuning import grid_search
+from repro.errors import InvalidConfigurationError
+
+
+def items(n=2000):
+    return [(i * 7, i) for i in range(n)]
+
+
+class TestGridSearch:
+    def test_finds_a_best_trial(self):
+        data = items()
+        probes = [k for k, _ in data[::20]]
+        result = grid_search(
+            lambda fanout, perf: BPlusTree(fanout=fanout, perf=perf),
+            {"fanout": (8, 32, 128)},
+            data,
+            probes,
+        )
+        assert len(result.trials) == 3
+        assert result.best in result.trials
+        assert result.best.read_ns == min(t.read_ns for t in result.trials)
+
+    def test_multi_dimensional_grid(self):
+        data = items(1000)
+        probes = [k for k, _ in data[::10]]
+        result = grid_search(
+            lambda eps, eps_internal, perf: PGMIndex(
+                eps=eps, eps_internal=eps_internal, perf=perf
+            ),
+            {"eps": (8, 64), "eps_internal": (2, 8)},
+            data,
+            probes,
+        )
+        assert len(result.trials) == 4
+        combos = {tuple(sorted(t.params.items())) for t in result.trials}
+        assert len(combos) == 4
+
+    def test_invalid_combinations_skipped(self):
+        data = items(500)
+        probes = [k for k, _ in data[::10]]
+        result = grid_search(
+            lambda fanout, perf: BPlusTree(fanout=fanout, perf=perf),
+            {"fanout": (2, 16)},  # fanout=2 is rejected by BPlusTree
+            data,
+            probes,
+        )
+        assert len(result.trials) == 1
+        assert result.trials[0].params == {"fanout": 16}
+
+    def test_all_invalid_raises(self):
+        with pytest.raises(InvalidConfigurationError):
+            grid_search(
+                lambda fanout, perf: BPlusTree(fanout=fanout, perf=perf),
+                {"fanout": (1, 2)},
+                items(100),
+                [7],
+            )
+
+    def test_insert_weighting_changes_winner_potentially(self):
+        data = items(1000)
+        probes = [k for k, _ in data[::10]]
+        extra = [(k + 1, 0) for k, _ in data[::9]]
+        result = grid_search(
+            lambda fanout, perf: BPlusTree(fanout=fanout, perf=perf),
+            {"fanout": (8, 64)},
+            data,
+            probes,
+            insert_items=extra,
+            read_weight=0.0,
+            insert_weight=1.0,
+        )
+        assert result.best.insert_ns > 0
+        ranked = result.ranked(read_weight=0.0, insert_weight=1.0)
+        assert ranked[0] == result.best
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(InvalidConfigurationError):
+            grid_search(lambda perf: BPlusTree(perf=perf), {}, items(10), [7])
+
+    def test_nothing_to_measure_rejected(self):
+        with pytest.raises(InvalidConfigurationError):
+            grid_search(
+                lambda fanout, perf: BPlusTree(fanout=fanout, perf=perf),
+                {"fanout": (8,)},
+                items(10),
+                [],
+            )
+
+    def test_trial_records_build_and_size(self):
+        data = items(500)
+        result = grid_search(
+            lambda fanout, perf: BPlusTree(fanout=fanout, perf=perf),
+            {"fanout": (16,)},
+            data,
+            [data[0][0]],
+        )
+        trial = result.best
+        assert trial.build_ns > 0
+        assert trial.size_bytes > 0

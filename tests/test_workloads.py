@@ -1,0 +1,171 @@
+"""Tests for dataset synthesizers and YCSB workload generation."""
+
+import pytest
+
+from repro.errors import InvalidConfigurationError
+from repro.workloads import (
+    LatestGenerator,
+    OpKind,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    WorkloadSpec,
+    YCSB_A,
+    YCSB_B,
+    YCSB_D,
+    YCSB_E,
+    ZipfianGenerator,
+    face_keys,
+    generate_operations,
+    osm_keys,
+    sequential_keys,
+    uniform_keys,
+    ycsb_keys,
+)
+from repro.workloads.ycsb import split_load_and_inserts
+from repro.core.approximation import OptPLAApproximator
+
+
+class TestDatasets:
+    @pytest.mark.parametrize(
+        "maker", [ycsb_keys, osm_keys, face_keys, uniform_keys, sequential_keys]
+    )
+    def test_sorted_unique_exact_count(self, maker):
+        keys = maker(5000, seed=3)
+        assert len(keys) == 5000
+        assert all(keys[i] < keys[i + 1] for i in range(len(keys) - 1))
+        assert keys[0] >= 0
+        assert keys[-1] < 2**64
+
+    @pytest.mark.parametrize(
+        "maker", [ycsb_keys, osm_keys, face_keys, uniform_keys]
+    )
+    def test_deterministic_in_seed(self, maker):
+        assert maker(1000, seed=7) == maker(1000, seed=7)
+        assert maker(1000, seed=7) != maker(1000, seed=8)
+
+    def test_face_skew_property(self):
+        keys = face_keys(10_000, seed=1)
+        low = sum(1 for k in keys if k < 2**50)
+        assert low / len(keys) > 0.99
+        assert max(keys) > 2**59
+
+    def test_osm_cdf_more_complex_than_ycsb(self):
+        """The §III-B property: OSM needs more PLA segments at equal eps."""
+        n = 30_000
+        osm = osm_keys(n, seed=2)
+        ycsb = ycsb_keys(n, seed=2)
+        approx = OptPLAApproximator(eps=64)
+        assert approx.fit(osm).leaf_count > approx.fit(ycsb).leaf_count
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(InvalidConfigurationError):
+            ycsb_keys(0)
+
+
+class TestDistributions:
+    def test_zipfian_skew(self):
+        gen = ZipfianGenerator(10_000, seed=5)
+        draws = [gen.next() for _ in range(20_000)]
+        top = sum(1 for d in draws if d < 100)
+        assert top / len(draws) > 0.3  # heavy head
+        assert all(0 <= d < 10_000 for d in draws)
+
+    def test_scrambled_zipfian_spreads_hotspots(self):
+        gen = ScrambledZipfianGenerator(10_000, seed=5)
+        draws = [gen.next() for _ in range(5000)]
+        assert all(0 <= d < 10_000 for d in draws)
+        # The most frequent item should NOT be item 0 in general.
+        from collections import Counter
+
+        most_common = Counter(draws).most_common(1)[0][0]
+        assert most_common != 0 or len(set(draws)) > 1000
+
+    def test_uniform_bounds(self):
+        gen = UniformGenerator(100, seed=1)
+        assert all(0 <= gen.next() < 100 for _ in range(1000))
+
+    def test_latest_favours_recent(self):
+        gen = LatestGenerator(1000, seed=2)
+        for _ in range(500):
+            gen.advance()
+        draws = [gen.next() for _ in range(2000)]
+        recent = sum(1 for d in draws if d >= 1400)
+        assert recent / len(draws) > 0.3
+        assert all(0 <= d < 1500 for d in draws)
+
+    def test_invalid_params(self):
+        with pytest.raises(InvalidConfigurationError):
+            ZipfianGenerator(0)
+        with pytest.raises(InvalidConfigurationError):
+            ZipfianGenerator(10, theta=1.5)
+
+
+class TestWorkloadSpecs:
+    def test_proportions_must_sum_to_one(self):
+        with pytest.raises(InvalidConfigurationError):
+            WorkloadSpec("bad", read=0.5, update=0.2)
+
+    def test_standard_mixes(self):
+        assert YCSB_A.read == 0.5
+        assert YCSB_B.read == 0.95
+        assert YCSB_D.distribution == "latest"
+        assert YCSB_E.scan == 0.95
+
+
+class TestGenerateOperations:
+    def setup_method(self):
+        self.loaded = sequential_keys(2000, step=4)
+        self.inserts = [k + 1 for k in sequential_keys(2000, step=4)]
+
+    def test_mix_proportions_approximate(self):
+        ops = generate_operations(
+            YCSB_A, 10_000, self.loaded, self.inserts, seed=1
+        )
+        reads = sum(1 for op in ops if op.kind is OpKind.READ)
+        assert 0.45 < reads / len(ops) < 0.55
+
+    def test_reads_hit_known_keys(self):
+        ops = generate_operations(YCSB_B, 2000, self.loaded, self.inserts, seed=2)
+        known = set(self.loaded) | set(self.inserts)
+        for op in ops:
+            assert op.key in known
+
+    def test_insert_keys_are_fresh_and_in_order(self):
+        ops = generate_operations(YCSB_D, 4000, self.loaded, self.inserts, seed=3)
+        issued = [op.key for op in ops if op.kind is OpKind.INSERT]
+        assert issued == self.inserts[: len(issued)]
+
+    def test_latest_reads_can_hit_inserted_keys(self):
+        ops = generate_operations(YCSB_D, 8000, self.loaded, self.inserts, seed=4)
+        inserted_so_far = set()
+        read_of_inserted = 0
+        for op in ops:
+            if op.kind is OpKind.INSERT:
+                inserted_so_far.add(op.key)
+            elif op.key in inserted_so_far:
+                read_of_inserted += 1
+        assert read_of_inserted > 0
+
+    def test_scan_lengths_bounded(self):
+        ops = generate_operations(YCSB_E, 2000, self.loaded, self.inserts, seed=5)
+        for op in ops:
+            if op.kind is OpKind.SCAN:
+                assert 1 <= op.scan_length <= YCSB_E.scan_length
+
+    def test_missing_insert_keys_rejected(self):
+        with pytest.raises(InvalidConfigurationError):
+            generate_operations(YCSB_D, 1000, self.loaded, None, seed=6)
+
+    def test_deterministic(self):
+        a = generate_operations(YCSB_A, 500, self.loaded, self.inserts, seed=7)
+        b = generate_operations(YCSB_A, 500, self.loaded, self.inserts, seed=7)
+        assert a == b
+
+    def test_split_load_and_inserts(self):
+        keys = uniform_keys(1000, seed=8)
+        load, inserts = split_load_and_inserts(keys, 0.6, seed=9)
+        assert len(load) == 600
+        assert len(inserts) == 400
+        assert load == sorted(load)
+        assert set(load) | set(inserts) == set(keys)
+        assert not set(load) & set(inserts)
