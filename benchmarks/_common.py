@@ -15,25 +15,10 @@ from __future__ import annotations
 
 import os
 from functools import lru_cache
-from typing import Callable, Dict, Tuple
+from typing import Callable, Tuple
 
-from repro import (
-    ALEXIndex,
-    BPlusTree,
-    BwTree,
-    CCEH,
-    DynamicPGMIndex,
-    FITingTree,
-    Masstree,
-    PGMIndex,
-    PerfContext,
-    RMIIndex,
-    RadixSplineIndex,
-    SkipList,
-    ViperStore,
-    Wormhole,
-    XIndexIndex,
-)
+from repro import PerfContext, ViperStore
+from repro.registry import factories
 from repro.workloads import face_keys, osm_keys, uniform_keys, ycsb_keys
 
 _SCALES = {
@@ -52,6 +37,10 @@ SIZE_LABELS = {SMALL_N: "200M*", LARGE_N: "800M*"}
 
 
 # ---------------------------------------------------------------- registry
+#
+# Every factory table is a filtered view over ``repro.registry`` — the
+# single place an index is declared.  Registering an index there (with
+# the right figure membership) makes it appear in every figure module.
 
 IndexFactory = Callable[[PerfContext], object]
 
@@ -60,37 +49,22 @@ IndexFactory = Callable[[PerfContext], object]
 #: Keeping it fixed across sizes is what §III-B blames for RS's 800M drop.
 RS_BITS = max(6, min(18, SMALL_N.bit_length() - 10))
 
-LEARNED_READONLY: Dict[str, IndexFactory] = {
-    "RMI": lambda perf: RMIIndex(perf=perf),
-    "RS": lambda perf: RadixSplineIndex(eps=8, r_bits=RS_BITS, perf=perf),
-    "FITing-tree": lambda perf: FITingTree(strategy="buffer", perf=perf),
-    "PGM": lambda perf: PGMIndex(perf=perf),
-    "ALEX": lambda perf: ALEXIndex(perf=perf),
-    "XIndex": lambda perf: XIndexIndex(perf=perf),
-}
+#: Benchmark-local tuning, keyed by canonical registry name.
+_TUNING = {"RS": {"eps": 8, "r_bits": RS_BITS}}
 
-LEARNED_UPDATABLE: Dict[str, IndexFactory] = {
-    "FITing-tree-inp": lambda perf: FITingTree(strategy="inplace", perf=perf),
-    "FITing-tree-buf": lambda perf: FITingTree(strategy="buffer", perf=perf),
-    "PGM": lambda perf: DynamicPGMIndex(perf=perf),
-    "ALEX": lambda perf: ALEXIndex(perf=perf),
-    "XIndex": lambda perf: XIndexIndex(perf=perf),
-}
+_LEARNED = ("learned-readonly", "learned-updatable")
 
-TRADITIONAL: Dict[str, IndexFactory] = {
-    "BTree": lambda perf: BPlusTree(perf=perf),
-    "Skiplist": lambda perf: SkipList(perf=perf),
-    "Masstree": lambda perf: Masstree(perf=perf),
-    "Bwtree": lambda perf: BwTree(perf=perf),
-    "Wormhole": lambda perf: Wormhole(perf=perf),
-}
+LEARNED_READONLY = factories(
+    figure="read", category=_LEARNED, overrides=_TUNING
+)
+LEARNED_UPDATABLE = factories(figure="write", category=_LEARNED)
+TRADITIONAL = factories(category="traditional")
+CCEH_FACTORY = factories(category="hash")
+#: Beyond-the-paper indexes (LIPP, APEX, FINEdex) for ``bench_ext_*``.
+EXTENSIONS = factories(category="extension")
 
-CCEH_FACTORY: Dict[str, IndexFactory] = {
-    "CCEH": lambda perf: CCEH(perf=perf),
-}
-
-READ_CASE = {**LEARNED_READONLY, **TRADITIONAL, **CCEH_FACTORY}
-WRITE_CASE = {**LEARNED_UPDATABLE, **TRADITIONAL, **CCEH_FACTORY}
+READ_CASE = factories(figure="read", overrides=_TUNING)
+WRITE_CASE = factories(figure="write")
 
 
 # ---------------------------------------------------------------- datasets

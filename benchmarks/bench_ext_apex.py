@@ -14,6 +14,7 @@ import random
 from _common import N_OPS, SMALL_N, dataset, run_once
 from repro import ALEXIndex, APEXIndex, PerfContext
 from repro.bench import format_table, write_result
+from repro.registry import resolve
 from repro.workloads.ycsb import split_load_and_inserts
 
 
@@ -26,8 +27,8 @@ def run_apex():
     rows = []
     results = {}
     for name, factory in (
-        ("ALEX (DRAM index)", lambda p: ALEXIndex(perf=p)),
-        ("APEX (PM index)", lambda p: APEXIndex(perf=p)),
+        ("ALEX (DRAM index)", resolve("alex")),
+        ("APEX (PM index)", resolve("apex")),
     ):
         perf = PerfContext()
         index = factory(perf)

@@ -9,17 +9,19 @@ correction search entirely, so reads should beat ALEX; inserts remain
 competitive because conflicts are absorbed by tiny child nodes.
 """
 
-from _common import N_OPS, SMALL_N, dataset, loaded_store, run_once
-from repro import ALEXIndex, DynamicPGMIndex, FINEdexIndex, LIPPIndex
+from _common import EXTENSIONS, N_OPS, SMALL_N, dataset, loaded_store, run_once
 from repro.bench import format_table, run_store_ops, write_result
+from repro.registry import resolve
 from repro.workloads import READ_ONLY, generate_operations
 from repro.workloads.ycsb import split_load_and_inserts
 
+# The paper's updatable baselines plus the extension indexes under test
+# (LIPP and FINEdex), all resolved from the one registry.
 CANDIDATES = {
-    "ALEX": lambda perf: ALEXIndex(perf=perf),
-    "PGM": lambda perf: DynamicPGMIndex(perf=perf),
-    "LIPP": lambda perf: LIPPIndex(perf=perf),
-    "FINEdex": lambda perf: FINEdexIndex(perf=perf),
+    "ALEX": resolve("alex"),
+    "PGM": resolve("pgm"),
+    "LIPP": EXTENSIONS["LIPP"],
+    "FINEdex": EXTENSIONS["FINEdex"],
 }
 
 

@@ -1,57 +1,34 @@
 #!/usr/bin/env python3
-"""Head-to-head: fifteen indexes under a YCSB-B workload in one store.
+"""Head-to-head: every registered index under YCSB-B in one store.
 
-Reproduces the paper's end-to-end methodology in miniature: every index —
-six learned, six traditional, plus the three beyond-the-paper extensions
-(LIPP, APEX, FINEdex) — serves the same read-mostly request stream
-from the same Viper store, and the simulated throughput/tail table shows
-who wins and why (the DRAM hops column is the paper's cache-miss story).
+Reproduces the paper's end-to-end methodology in miniature: every index
+in ``repro.registry`` — learned, traditional, plus the beyond-the-paper
+extensions (LIPP, APEX, FINEdex) — serves the same read-mostly request
+stream from the same Viper store, and the simulated throughput/tail table
+shows who wins and why (the DRAM hops column is the paper's cache-miss
+story).  Registering a new index makes it show up here automatically.
 
 Run:  python examples/compare_indexes.py [n_keys]
 """
 
 import sys
 
-from repro import (
-    ALEXIndex,
-    APEXIndex,
-    FINEdexIndex,
-    LIPPIndex,
-    BPlusTree,
-    BwTree,
-    CCEH,
-    DynamicPGMIndex,
-    FITingTree,
-    Masstree,
-    PerfContext,
-    RadixSplineIndex,
-    RMIIndex,
-    SkipList,
-    ViperStore,
-    Wormhole,
-    XIndexIndex,
-    ycsb_keys,
-)
+from repro import PerfContext, ViperStore, ycsb_keys
 from repro.bench import format_table, run_store_ops
+from repro.registry import specs
 from repro.workloads import YCSB_B, generate_operations
 from repro.workloads.ycsb import split_load_and_inserts
 
+# Every registered index, straight from the registry.  Skip the
+# static-PGM spec: the dynamic PGM already represents the family here,
+# as in the paper's mixed-workload figures.
+_TAGS = {"extension": " (ext)", "hash": " (hash)"}
 INDEXES = {
-    "RMI (read-only)": lambda perf: RMIIndex(perf=perf),
-    "RadixSpline (read-only)": lambda perf: RadixSplineIndex(perf=perf),
-    "FITing-tree": lambda perf: FITingTree(strategy="buffer", perf=perf),
-    "PGM-Index": lambda perf: DynamicPGMIndex(perf=perf),
-    "ALEX": lambda perf: ALEXIndex(perf=perf),
-    "XIndex": lambda perf: XIndexIndex(perf=perf),
-    "LIPP (ext)": lambda perf: LIPPIndex(perf=perf),
-    "APEX (ext)": lambda perf: APEXIndex(perf=perf),
-    "FINEdex (ext)": lambda perf: FINEdexIndex(perf=perf),
-    "B+Tree": lambda perf: BPlusTree(perf=perf),
-    "SkipList": lambda perf: SkipList(perf=perf),
-    "Masstree": lambda perf: Masstree(perf=perf),
-    "Bw-tree": lambda perf: BwTree(perf=perf),
-    "Wormhole": lambda perf: Wormhole(perf=perf),
-    "CCEH (hash)": lambda perf: CCEH(perf=perf),
+    spec.name
+    + (" (read-only)" if not spec.build().capabilities().updatable
+       else _TAGS.get(spec.category, "")): spec
+    for spec in specs()
+    if spec.name != "PGM-static"
 }
 
 

@@ -14,6 +14,8 @@ Quickstart::
 Subpackages:
 
 * :mod:`repro.core` — the four design dimensions, recombinable.
+* :mod:`repro.registry` — the index registry: every index, one table,
+  consumed by the CLI, the benchmarks, and the contract tests.
 * :mod:`repro.learned` — RMI, RadixSpline, FITing-tree, PGM, ALEX, XIndex.
 * :mod:`repro.traditional` — B+tree, Skiplist, Masstree, Bw-tree,
   Wormhole, CCEH.
@@ -24,21 +26,9 @@ Subpackages:
 """
 
 from repro.core import ComposedIndex
-from repro.learned import (
-    ALEXIndex,
-    APEXIndex,
-    DynamicPGMIndex,
-    FINEdexIndex,
-    FITingTree,
-    LIPPIndex,
-    PGMIndex,
-    RadixSplineIndex,
-    RMIIndex,
-    XIndexIndex,
-)
 from repro.perf import BandwidthModel, CostModel, PerfContext
+from repro.registry import IndexSpec, UnknownIndexError, resolve, specs
 from repro.store import PMemDevice, ViperStore
-from repro.traditional import CCEH, BPlusTree, BwTree, Masstree, SkipList, Wormhole
 from repro.workloads import (
     face_keys,
     osm_keys,
@@ -49,33 +39,28 @@ from repro.workloads import (
 
 __version__ = "1.0.0"
 
+# Index classes are exported from the registry — registering an index is
+# what makes it importable as ``from repro import <Class>``.  One spec per
+# variant may share a class (FITing-tree inp/buf), hence the dedup.
+_INDEX_CLASSES = {spec.factory.__name__: spec.factory for spec in specs()}
+globals().update(_INDEX_CLASSES)
+
 __all__ = [
     "ComposedIndex",
-    "ALEXIndex",
-    "APEXIndex",
-    "DynamicPGMIndex",
-    "FITingTree",
-    "FINEdexIndex",
-    "PGMIndex",
-    "RadixSplineIndex",
-    "RMIIndex",
-    "XIndexIndex",
-    "LIPPIndex",
+    "IndexSpec",
+    "UnknownIndexError",
+    "resolve",
+    "specs",
     "BandwidthModel",
     "CostModel",
     "PerfContext",
     "PMemDevice",
     "ViperStore",
-    "CCEH",
-    "BPlusTree",
-    "BwTree",
-    "Masstree",
-    "SkipList",
-    "Wormhole",
     "face_keys",
     "osm_keys",
     "sequential_keys",
     "uniform_keys",
     "ycsb_keys",
     "__version__",
+    *sorted(_INDEX_CLASSES),
 ]

@@ -1,8 +1,9 @@
 """Benchmark harness: drive indexes/stores with workloads, report results.
 
-* :mod:`repro.bench.runner` — per-operation measurement loops for bare
-  indexes and for the Viper store, plus build/recovery measurement and the
-  multi-thread scaling model.
+* :mod:`repro.bench.runner` — the unified operation executor: an
+  ``OpKind``-dispatched loop over an :class:`~repro.bench.runner.OpTarget`
+  adapter (bare index or Viper store), with per-kind latency breakdowns,
+  plus build/recovery measurement and the multi-thread scaling model.
 * :mod:`repro.bench.metrics` — result records (throughput, tail latency).
 * :mod:`repro.bench.report` — fixed-width table rendering and result-file
   output used by every ``benchmarks/bench_*`` module.
@@ -10,6 +11,12 @@
 
 from repro.bench.metrics import BenchResult
 from repro.bench.runner import (
+    ExecutionResult,
+    IndexAdapter,
+    OP_HANDLERS,
+    OpTarget,
+    StoreAdapter,
+    execute_ops,
     measure_build,
     run_index_ops,
     run_store_ops,
@@ -19,6 +26,12 @@ from repro.bench.report import format_bars, format_table, write_result
 
 __all__ = [
     "BenchResult",
+    "ExecutionResult",
+    "IndexAdapter",
+    "OP_HANDLERS",
+    "OpTarget",
+    "StoreAdapter",
+    "execute_ops",
     "measure_build",
     "run_index_ops",
     "run_store_ops",

@@ -1,63 +1,197 @@
-"""Measurement loops: run an operation stream, record simulated latencies."""
+"""Measurement loop: run an operation stream, record simulated latencies.
+
+One executor serves every target.  A small adapter protocol
+(:class:`OpTarget`) presents bare indexes and the Viper store uniformly;
+an ``OpKind -> handler`` dispatch table maps each workload operation onto
+adapter calls.  Adding an execution backend (a sharded store, a remote
+stub) means writing one adapter — the workload semantics, the capability
+checks, and the per-kind latency accounting are shared.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.interfaces import Index
+from repro.core.interfaces import Index, SortedIndex
+from repro.errors import UnsupportedOperationError
 from repro.perf.bandwidth import BandwidthModel
+from repro.perf.breakdown import Profiler
 from repro.perf.context import PerfContext
 from repro.perf.latency import LatencyRecorder
 from repro.store.viper import ViperStore
 from repro.workloads.ycsb import Operation, OpKind
 
 
-def run_index_ops(
-    index: Index, ops: Iterable[Operation], perf: PerfContext
-) -> Tuple[LatencyRecorder, float]:
-    """Execute ``ops`` against a bare index; returns (latencies, bytes/op)."""
+class OpTarget:
+    """What the executor needs from an execution backend.
+
+    Adapters translate the uniform get/put/scan surface onto a concrete
+    target.  ``supports_scan`` gates SCAN dispatch so unsorted targets
+    fail with :class:`UnsupportedOperationError` — never ``AttributeError``.
+    """
+
+    #: Display name of whatever is being driven.
+    name: str = "target"
+    #: Whether SCAN operations can be served (sorted order available).
+    supports_scan: bool = False
+
+    def get(self, key: int):
+        raise NotImplementedError
+
+    def put(self, key: int, value) -> None:
+        raise NotImplementedError
+
+    def scan(self, key: int, count: int):
+        raise NotImplementedError
+
+
+class IndexAdapter(OpTarget):
+    """Drive a bare :class:`Index` (no store, values live in the index)."""
+
+    def __init__(self, index: Index):
+        self.index = index
+        self.name = index.name
+        self.supports_scan = isinstance(index, SortedIndex)
+
+    def get(self, key: int):
+        return self.index.get(key)
+
+    def put(self, key: int, value) -> None:
+        self.index.insert(key, value)
+
+    def scan(self, key: int, count: int):
+        return self.index.scan(key, count)
+
+
+class StoreAdapter(OpTarget):
+    """Drive operations end-to-end through a :class:`ViperStore`."""
+
+    def __init__(self, store: ViperStore):
+        self.store = store
+        self.name = f"viper[{store.index.name}]"
+        self.supports_scan = isinstance(store.index, SortedIndex)
+
+    def get(self, key: int):
+        return self.store.get(key)
+
+    def put(self, key: int, value) -> None:
+        self.store.put(key, value)
+
+    def scan(self, key: int, count: int):
+        return self.store.scan(key, count)
+
+
+# ------------------------------------------------------------- dispatch
+
+def _do_read(target: OpTarget, op: Operation) -> None:
+    target.get(op.key)
+
+
+def _do_write(target: OpTarget, op: Operation) -> None:
+    target.put(op.key, op.key)
+
+
+def _do_rmw(target: OpTarget, op: Operation) -> None:
+    value = target.get(op.key)
+    # A not-yet-inserted key reads None; writing that back would persist
+    # None as the value.  YCSB's RMW on a missing key writes the fresh
+    # record instead.
+    target.put(op.key, value if value is not None else op.key)
+
+
+def _do_scan(target: OpTarget, op: Operation) -> None:
+    if not target.supports_scan:
+        raise UnsupportedOperationError(
+            f"{target.name} cannot serve ordered scans"
+        )
+    target.scan(op.key, op.scan_length)
+
+
+#: The one place operation semantics live: OpKind -> handler.
+OP_HANDLERS: Dict[OpKind, Callable[[OpTarget, Operation], None]] = {
+    OpKind.READ: _do_read,
+    OpKind.UPDATE: _do_write,
+    OpKind.INSERT: _do_write,
+    OpKind.RMW: _do_rmw,
+    OpKind.SCAN: _do_scan,
+}
+
+
+@dataclass
+class ExecutionResult:
+    """Everything one executor pass measures."""
+
+    recorder: LatencyRecorder
+    bytes_per_op: float
+    #: Latency breakdown per operation kind (only kinds that occurred).
+    by_kind: Dict[OpKind, LatencyRecorder] = field(default_factory=dict)
+
+    def kind_summary(self) -> List[Tuple[str, int, float, float]]:
+        """Rows of ``(kind, ops, mean ns, p99.9 ns)`` sorted by time share."""
+        rows = [
+            (kind.value, len(rec), rec.mean(), rec.p999())
+            for kind, rec in self.by_kind.items()
+        ]
+        rows.sort(key=lambda r: -(r[1] * r[2]))
+        return rows
+
+    #: ``recorder, bytes_per_op = execute_ops(...)`` keeps working at the
+    #: pre-refactor call sites.
+    def __iter__(self):
+        return iter((self.recorder, self.bytes_per_op))
+
+
+def execute_ops(
+    target: OpTarget,
+    ops: Iterable[Operation],
+    perf: PerfContext,
+    profiler: Optional[Profiler] = None,
+) -> ExecutionResult:
+    """Execute ``ops`` against ``target``, measuring each on ``perf``.
+
+    Pass a :class:`~repro.perf.breakdown.Profiler` to additionally
+    attribute every operation's hardware events by kind ("what is in my
+    p99.9?" — see ``docs/cost_model.md``).
+    """
     recorder = LatencyRecorder()
+    by_kind: Dict[OpKind, LatencyRecorder] = {}
     total_bytes = 0
     for op in ops:
+        handler = OP_HANDLERS[op.kind]
         mark = perf.begin()
-        if op.kind is OpKind.READ:
-            index.get(op.key)
-        elif op.kind is OpKind.UPDATE or op.kind is OpKind.INSERT:
-            index.insert(op.key, op.key)
-        elif op.kind is OpKind.RMW:
-            index.get(op.key)
-            index.insert(op.key, op.key)
-        elif op.kind is OpKind.SCAN:
-            index.scan(op.key, op.scan_length)
+        handler(target, op)
         measured = perf.end(mark)
         recorder.record(measured.time_ns)
+        kind_rec = by_kind.get(op.kind)
+        if kind_rec is None:
+            kind_rec = by_kind[op.kind] = LatencyRecorder()
+        kind_rec.record(measured.time_ns)
         total_bytes += measured.bytes
+        if profiler is not None:
+            profiler.record_measured(op.kind.value, measured)
     bytes_per_op = total_bytes / max(1, len(recorder))
-    return recorder, bytes_per_op
+    return ExecutionResult(recorder, bytes_per_op, by_kind)
+
+
+def run_index_ops(
+    index: Index,
+    ops: Iterable[Operation],
+    perf: PerfContext,
+    profiler: Optional[Profiler] = None,
+) -> ExecutionResult:
+    """Execute ``ops`` against a bare index; unpacks as (latencies, bytes/op)."""
+    return execute_ops(IndexAdapter(index), ops, perf, profiler)
 
 
 def run_store_ops(
-    store: ViperStore, ops: Iterable[Operation], perf: PerfContext
-) -> Tuple[LatencyRecorder, float]:
+    store: ViperStore,
+    ops: Iterable[Operation],
+    perf: PerfContext,
+    profiler: Optional[Profiler] = None,
+) -> ExecutionResult:
     """Execute ``ops`` end-to-end through the Viper store."""
-    recorder = LatencyRecorder()
-    total_bytes = 0
-    for op in ops:
-        mark = perf.begin()
-        if op.kind is OpKind.READ:
-            store.get(op.key)
-        elif op.kind is OpKind.UPDATE or op.kind is OpKind.INSERT:
-            store.put(op.key, op.key)
-        elif op.kind is OpKind.RMW:
-            value = store.get(op.key)
-            store.put(op.key, value)
-        elif op.kind is OpKind.SCAN:
-            store.scan(op.key, op.scan_length)
-        measured = perf.end(mark)
-        recorder.record(measured.time_ns)
-        total_bytes += measured.bytes
-    bytes_per_op = total_bytes / max(1, len(recorder))
-    return recorder, bytes_per_op
+    return execute_ops(StoreAdapter(store), ops, perf, profiler)
 
 
 def measure_build(

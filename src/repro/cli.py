@@ -2,10 +2,14 @@
 
 Commands:
 
-* ``info`` — list every index with its Table-I capabilities.
+* ``info`` — list every registered index with its category, figure
+  membership, and Table-I capabilities.
 * ``bench`` — run one (index, workload, dataset) combination end-to-end
   through the Viper store and print simulated throughput/latency.
 * ``datasets`` — summarise a synthetic dataset (and optionally dump keys).
+
+Index resolution goes through :mod:`repro.registry`: any canonical name
+or alias listed by ``info`` works, case-insensitively.
 """
 
 from __future__ import annotations
@@ -13,29 +17,10 @@ from __future__ import annotations
 import argparse
 import random
 import sys
-from typing import Callable, Dict
 
-from repro import (
-    ALEXIndex,
-    APEXIndex,
-    BPlusTree,
-    BwTree,
-    CCEH,
-    DynamicPGMIndex,
-    FINEdexIndex,
-    FITingTree,
-    LIPPIndex,
-    Masstree,
-    PGMIndex,
-    PerfContext,
-    RMIIndex,
-    RadixSplineIndex,
-    SkipList,
-    ViperStore,
-    Wormhole,
-    XIndexIndex,
-)
+from repro import PerfContext, ViperStore, registry
 from repro.bench import format_table, run_store_ops
+from repro.registry import UnknownIndexError
 from repro.workloads import generate_operations
 from repro.workloads.datasets import DATASETS
 from repro.workloads.ycsb import (
@@ -45,25 +30,10 @@ from repro.workloads.ycsb import (
     split_load_and_inserts,
 )
 
-INDEXES: Dict[str, Callable[[PerfContext], object]] = {
-    "rmi": lambda perf: RMIIndex(perf=perf),
-    "rs": lambda perf: RadixSplineIndex(perf=perf),
-    "fiting-inp": lambda perf: FITingTree(strategy="inplace", perf=perf),
-    "fiting-buf": lambda perf: FITingTree(strategy="buffer", perf=perf),
-    "pgm": lambda perf: DynamicPGMIndex(perf=perf),
-    "pgm-static": lambda perf: PGMIndex(perf=perf),
-    "alex": lambda perf: ALEXIndex(perf=perf),
-    "xindex": lambda perf: XIndexIndex(perf=perf),
-    "lipp": lambda perf: LIPPIndex(perf=perf),
-    "apex": lambda perf: APEXIndex(perf=perf),
-    "finedex": lambda perf: FINEdexIndex(perf=perf),
-    "btree": lambda perf: BPlusTree(perf=perf),
-    "skiplist": lambda perf: SkipList(perf=perf),
-    "masstree": lambda perf: Masstree(perf=perf),
-    "bwtree": lambda perf: BwTree(perf=perf),
-    "wormhole": lambda perf: Wormhole(perf=perf),
-    "cceh": lambda perf: CCEH(perf=perf),
-}
+#: CLI name -> spec, generated from the registry (kept importable for
+#: anything that wants "every index the CLI can drive"; an
+#: :class:`~repro.registry.IndexSpec` is callable as ``spec(perf)``).
+INDEXES = {spec.cli_name: spec for spec in registry.specs()}
 
 WORKLOADS = {
     **{name.lower(): spec for name, spec in STANDARD_WORKLOADS.items()},
@@ -74,11 +44,13 @@ WORKLOADS = {
 
 def cmd_info(_args: argparse.Namespace) -> int:
     rows = []
-    for name, factory in INDEXES.items():
-        caps = factory(PerfContext()).capabilities()
+    for spec in registry.specs():
+        caps = spec.build(PerfContext()).capabilities()
         rows.append(
             [
-                name,
+                spec.cli_name,
+                spec.category,
+                ",".join(spec.figures) or "-",
                 "yes" if caps.sorted_order else "no",
                 "yes" if caps.updatable else "no",
                 "bounded" if caps.bounded_error else "unfixed",
@@ -88,7 +60,16 @@ def cmd_info(_args: argparse.Namespace) -> int:
         )
     print(
         format_table(
-            ["index", "sorted", "updatable", "error", "inner node", "insertion"],
+            [
+                "index",
+                "category",
+                "figures",
+                "sorted",
+                "updatable",
+                "error",
+                "inner node",
+                "insertion",
+            ],
             rows,
             title="Available indexes",
         )
@@ -97,7 +78,9 @@ def cmd_info(_args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    if args.index not in INDEXES:
+    try:
+        spec = registry.resolve(args.index)
+    except UnknownIndexError:
         print(f"unknown index {args.index!r}; see `info`", file=sys.stderr)
         return 2
     if args.workload not in WORKLOADS:
@@ -107,17 +90,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    spec = WORKLOADS[args.workload]
+    workload = WORKLOADS[args.workload]
     keys = DATASETS[args.dataset](args.keys, seed=args.seed)
-    needs_inserts = spec.insert > 0
+    needs_inserts = workload.insert > 0
     if needs_inserts:
         load, insert_pool = split_load_and_inserts(keys, 0.5, seed=args.seed)
     else:
         load, insert_pool = list(keys), None
-    ops = generate_operations(spec, args.ops, load, insert_pool, seed=args.seed)
+    ops = generate_operations(
+        workload, args.ops, load, insert_pool, seed=args.seed
+    )
 
     perf = PerfContext()
-    store = ViperStore(INDEXES[args.index](perf), perf)
+    store = ViperStore(spec.build(perf), perf)
     mark = perf.begin()
     store.bulk_load([(k, k) for k in load])
     build_ns = perf.end(mark).time_ns
@@ -127,8 +112,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         format_table(
             ["metric", "value"],
             [
-                ["index", args.index],
-                ["workload", spec.name],
+                ["index", spec.name],
+                ["workload", workload.name],
                 ["dataset", f"{args.dataset} ({len(load):,} loaded keys)"],
                 ["operations", f"{len(recorder):,}"],
                 ["build (sim ms)", f"{build_ns / 1e6:.2f}"],

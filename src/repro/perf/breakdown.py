@@ -76,6 +76,16 @@ class Profiler:
         with self.operation(label):
             return fn()
 
+    def record_measured(self, label: str, measured) -> None:
+        """Attribute an already-measured :class:`~repro.perf.context.Operation`.
+
+        This is how the benchmark executor feeds the profiler: it brackets
+        each operation itself (for latency recording) and hands the same
+        measurement here, so one pass yields both percentiles and the
+        event breakdown.
+        """
+        self._record(label, measured.time_ns, measured.counters)
+
     def _record(self, label: str, time_ns: float, counters: Counters) -> None:
         self.total.add(counters)
         self.op_count += 1

@@ -4,16 +4,21 @@ import os
 
 import pytest
 
-from repro import BPlusTree, PerfContext, ViperStore
+from repro import BPlusTree, CCEH, PerfContext, ViperStore
 from repro.bench import (
     BenchResult,
+    IndexAdapter,
+    OP_HANDLERS,
+    StoreAdapter,
+    execute_ops,
     format_table,
     measure_build,
     run_index_ops,
     run_store_ops,
     thread_scaling,
 )
-from repro.perf import BandwidthModel, LatencyRecorder
+from repro.errors import UnsupportedOperationError
+from repro.perf import BandwidthModel, LatencyRecorder, Profiler
 from repro.workloads import YCSB_A, READ_ONLY, generate_operations
 from repro.workloads.ycsb import OpKind, Operation
 
@@ -65,6 +70,90 @@ class TestRunners:
             lambda: index.bulk_load([(i, i) for i in range(1000)]), perf
         )
         assert ns > 0
+
+
+class TestUnifiedExecutor:
+    """Both run_* entry points are thin wrappers over one dispatch loop."""
+
+    def test_every_op_kind_has_a_handler(self):
+        assert set(OP_HANDLERS) == set(OpKind)
+
+    def test_rmw_on_absent_key_writes_the_key_not_none(self):
+        store, perf = small_store()
+        absent = 3001  # odd keys were never loaded
+        run_store_ops(store, [Operation(OpKind.RMW, absent)], perf)
+        assert store.get(absent) == absent  # previously persisted None
+
+    def test_rmw_on_present_key_preserves_the_stored_value(self):
+        store, perf = small_store()
+        store.put(100, "precious")
+        run_store_ops(store, [Operation(OpKind.RMW, 100)], perf)
+        assert store.get(100) == "precious"
+
+    def test_scan_on_hash_index_raises_unsupported(self):
+        perf = PerfContext()
+        index = CCEH(perf=perf)
+        for k in range(100):
+            index.insert(k, k)
+        ops = [Operation(OpKind.SCAN, 10, 5)]
+        # Bare index: used to die with AttributeError (no .scan on CCEH).
+        with pytest.raises(UnsupportedOperationError):
+            run_index_ops(index, ops, perf)
+        # Same contract through the store path.
+        store = ViperStore(CCEH(perf=perf), perf)
+        store.bulk_load([(i, i) for i in range(100)])
+        with pytest.raises(UnsupportedOperationError):
+            run_store_ops(store, ops, perf)
+
+    def test_per_kind_latency_breakdown(self):
+        store, perf = small_store()
+        loaded = list(range(0, 2000, 2))
+        inserts = list(range(1, 2000, 2))
+        ops = generate_operations(YCSB_A, 400, loaded, inserts, seed=5)
+        result = run_store_ops(store, ops, perf)
+        assert set(result.by_kind) == {op.kind for op in ops}
+        assert sum(len(r) for r in result.by_kind.values()) == len(
+            result.recorder
+        )
+        summary = result.kind_summary()
+        assert {row[0] for row in summary} == {
+            kind.value for kind in result.by_kind
+        }
+        assert all(row[2] > 0 for row in summary)
+
+    def test_adapters_expose_capabilities(self):
+        perf = PerfContext()
+        sorted_target = IndexAdapter(BPlusTree(perf=perf))
+        hash_target = IndexAdapter(CCEH(perf=perf))
+        assert sorted_target.supports_scan
+        assert not hash_target.supports_scan
+        store, _ = small_store()
+        assert StoreAdapter(store).supports_scan
+
+    def test_executor_feeds_profiler(self):
+        store, perf = small_store()
+        profiler = Profiler(perf)
+        ops = [Operation(OpKind.READ, 100), Operation(OpKind.UPDATE, 100)]
+        result = execute_ops(StoreAdapter(store), ops, perf, profiler)
+        assert profiler.op_count == 2
+        assert profiler.total_time_ns() == pytest.approx(
+            result.recorder.total_time_ns()
+        )
+        labels = {p.label for p in profiler.worst()}
+        assert labels == {"read", "update"}
+
+    def test_store_and_index_paths_share_semantics(self):
+        # Identical op stream through both targets: both count every op.
+        ops = [Operation(OpKind.READ, 10), Operation(OpKind.INSERT, 11)]
+        perf = PerfContext()
+        index = BPlusTree(perf=perf)
+        index.bulk_load([(i, i) for i in range(0, 100, 2)])
+        rec_idx, _ = run_index_ops(index, ops, perf)
+        store, perf2 = small_store()
+        rec_store, _ = run_store_ops(store, ops, perf2)
+        assert len(rec_idx) == len(rec_store) == 2
+        assert index.get(11) == 11
+        assert store.get(11) == 11
 
 
 class TestThreadScaling:
