@@ -4,7 +4,14 @@ Among the learned indexes only XIndex supports concurrent writes
 (Table I), so the paper plots it against the traditional indexes.  Shape:
 XIndex's scaling "is similar to that of Masstree — overall, XIndex's
 performance is close to traditional indexes".
+
+Like Fig 12, each thread count reports the process-based projection (the
+paper's setting) next to the GIL-bound thread projection, and ``--jobs N``
+fans the per-index single-thread measurements out over worker processes.
 """
+
+import argparse
+from concurrent.futures import ProcessPoolExecutor
 
 from _common import (
     SMALL_N,
@@ -28,20 +35,29 @@ CONCURRENT_WRITERS = {
 }
 
 
-def run_multithread_write():
+def _measure_write(name):
+    """Single-thread baseline for one index; top-level so it pickles."""
     keys = dataset("ycsb", SMALL_N)
     load, inserts = split_load_and_inserts(keys, 0.5, seed=14)
     ops = generate_operations(
         WRITE_ONLY, len(inserts) - 1, load, inserts, seed=14
     )
+    store, perf = loaded_store(CONCURRENT_WRITERS[name], load)
+    recorder, bytes_per_op = run_store_ops(store, ops, perf)
+    return name, recorder.mean(), recorder.p999(), bytes_per_op
+
+
+def run_multithread_write(jobs: int = 1):
+    names = list(CONCURRENT_WRITERS)
+    if jobs > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            measured = list(pool.map(_measure_write, names))
+    else:
+        measured = [_measure_write(name) for name in names]
     rows = []
     curves = {}
-    for name, factory in CONCURRENT_WRITERS.items():
-        store, perf = loaded_store(factory, load)
-        recorder, bytes_per_op = run_store_ops(store, ops, perf)
-        scaling = thread_scaling(
-            recorder.mean(), recorder.p999(), bytes_per_op, THREADS
-        )
+    for name, mean_ns, p999_ns, bytes_per_op in measured:
+        scaling = thread_scaling(mean_ns, p999_ns, bytes_per_op, THREADS)
         curves[name] = scaling
         for point in scaling:
             rows.append(
@@ -49,13 +65,17 @@ def run_multithread_write():
                     name,
                     point["threads"],
                     f"{point['throughput_mops']:.2f}",
+                    f"{point['gil_thread_mops']:.2f}",
                     f"{point['p999_ns'] / 1000:.2f}",
                 ]
             )
     table = format_table(
-        ["index", "threads", "Mops/s", "p99.9 (us)"],
+        ["index", "threads", "Mops/s (proc)", "Mops/s (GIL thr)",
+         "p99.9 (us)"],
         rows,
-        title="Fig 14 — multi-threaded write-only (bandwidth-model projection)",
+        title="Fig 14 — multi-threaded write-only (bandwidth-model projection; "
+        "'proc' = one interpreter per core, 'GIL thr' = Python threads "
+        "serialised by the GIL)",
     )
     return table, curves
 
@@ -74,5 +94,11 @@ def test_fig14_multithread_write(benchmark):
 
 
 if __name__ == "__main__":
-    table, _ = run_multithread_write()
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the per-index baseline measurements",
+    )
+    args = parser.parse_args()
+    table, _ = run_multithread_write(jobs=args.jobs)
     write_result("fig14_multithread_write", table)

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Wall-clock micro-benchmark for the vectorized hot paths (PR 2).
+
+Unlike every ``bench_fig*`` module — which reports *simulated* nanoseconds
+from the cost model — this one measures real wall-clock throughput of the
+Python implementation itself, tracking the perf trajectory of the
+vectorized fast paths across PRs.  Fixed seed, fixed query sets, so two
+runs on the same machine are comparable.
+
+Measured per index (PGM, RS, BTree — one LSM learned index, one static
+learned index, one traditional baseline):
+
+* ``bulk_load``  — keys/s building the index from a sorted array.
+* ``get``        — scalar point lookups per second.
+* ``get_many``   — the same query set answered through the batch API.
+* ``insert``     — fresh-key inserts per second (skipped for static RS).
+
+Usage::
+
+    python benchmarks/bench_micro.py --quick            # CI smoke scale
+    python benchmarks/bench_micro.py --out BENCH_PR2.json
+    python benchmarks/bench_micro.py --quick --check    # fail on regression
+
+``--check`` exits non-zero if ``get_many`` is slower than scalar ``get``
+on an index with a native batch path (PGM, RS) — the batch API's whole
+point is to beat the per-key loop there — or more than modestly slower on
+a fallback index (BTree's ``get_many`` *is* the per-key loop plus the
+result list, so parity minus list-building overhead is its ceiling).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+
+from repro.perf.context import PerfContext
+from repro.registry import has_native_batch, resolve
+
+SEED = 42
+
+#: Registry aliases of the three representative indexes.
+INDEXES = ("pgm", "rs", "btree")
+
+#: Fallback indexes answer batches with the scalar loop plus a result
+#: list; allow that bookkeeping overhead before calling it a regression.
+FALLBACK_FLOOR = 0.75
+
+#: Full-scale parameters (the committed BENCH_PR2.json numbers).
+FULL = {"n_keys": 1_000_000, "n_scalar": 5_000, "n_batch": 200_000}
+#: ``--quick`` parameters (CI perf-smoke job).
+QUICK = {"n_keys": 50_000, "n_scalar": 2_000, "n_batch": 20_000}
+
+
+def _make_keys(n: int, rng: random.Random):
+    """Sorted unique uint64-range keys, deterministic in ``rng``."""
+    return sorted(rng.sample(range(1, 2**50), n + n // 10))
+
+
+def _ops_per_sec(count: int, seconds: float) -> float:
+    return count / seconds if seconds > 0 else float("inf")
+
+
+def bench_index(alias: str, scale: dict, rng: random.Random) -> dict:
+    spec = resolve(alias)
+    n_keys = scale["n_keys"]
+    all_keys = _make_keys(n_keys, rng)
+    load_keys = all_keys[: n_keys]
+    insert_keys = rng.sample(all_keys[n_keys:], min(2_000, len(all_keys) - n_keys))
+    items = [(k, k) for k in load_keys]
+
+    scalar_queries = [
+        k + rng.choice((0, 1)) for k in rng.sample(load_keys, scale["n_scalar"])
+    ]
+    batch_queries = [
+        k + rng.choice((0, 1))
+        for k in rng.choices(load_keys, k=scale["n_batch"])
+    ]
+
+    index = spec.build(PerfContext())
+
+    t0 = time.perf_counter()
+    index.bulk_load(items)
+    t_build = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for q in scalar_queries:
+        index.get(q)
+    t_scalar = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    index.get_many(batch_queries)
+    t_batch = time.perf_counter() - t0
+
+    row = {
+        "name": spec.name,
+        "native_batch": has_native_batch(index),
+        "n_keys": n_keys,
+        "bulk_load_keys_s": _ops_per_sec(n_keys, t_build),
+        "get_ops_s": _ops_per_sec(len(scalar_queries), t_scalar),
+        "get_many_ops_s": _ops_per_sec(len(batch_queries), t_batch),
+    }
+    row["batch_speedup"] = row["get_many_ops_s"] / row["get_ops_s"]
+
+    if index.capabilities().updatable:
+        t0 = time.perf_counter()
+        for k in insert_keys:
+            index.insert(k, k)
+        t_insert = time.perf_counter() - t0
+        row["insert_ops_s"] = _ops_per_sec(len(insert_keys), t_insert)
+    else:
+        row["insert_ops_s"] = None
+    return row
+
+
+def run(scale: dict) -> dict:
+    results = {}
+    for alias in INDEXES:
+        # One RNG stream per index so adding an index never shifts the
+        # keys/queries of the others between runs.
+        rng = random.Random(f"{SEED}:{alias}")
+        row = bench_index(alias, scale, rng)
+        results[alias] = row
+        print(
+            f"{row['name']:8s} bulk_load {row['bulk_load_keys_s']:>12,.0f} keys/s"
+            f"  get {row['get_ops_s']:>11,.0f} op/s"
+            f"  get_many {row['get_many_ops_s']:>13,.0f} op/s"
+            f"  ({row['batch_speedup']:.1f}x)"
+            + (
+                f"  insert {row['insert_ops_s']:>10,.0f} op/s"
+                if row["insert_ops_s"]
+                else "  insert -"
+            ),
+            flush=True,
+        )
+    return {
+        "schema": "bench-micro-v1",
+        "seed": SEED,
+        "scale": scale,
+        "python": sys.version.split()[0],
+        "indexes": results,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke scale (50K keys)"
+    )
+    parser.add_argument("--out", default="", help="write JSON results here")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if get_many is slower than scalar get anywhere",
+    )
+    args = parser.parse_args()
+
+    report = run(QUICK if args.quick else FULL)
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[saved to {args.out}]")
+
+    if args.check:
+        slow = [
+            f"{row['name']} ({row['batch_speedup']:.2f}x)"
+            for row in report["indexes"].values()
+            if row["batch_speedup"]
+            < (1.0 if row["native_batch"] else FALLBACK_FLOOR)
+        ]
+        if slow:
+            print(
+                f"FAIL: batch get_many regressed vs scalar get for: "
+                f"{', '.join(slow)}",
+                file=sys.stderr,
+            )
+            return 1
+        print("check ok: no batch-vs-scalar regression")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,14 +4,23 @@
 Equivalent to ``pytest benchmarks/ --benchmark-only`` minus the assertion
 layer — useful for eyeballing all results in one stream.
 
-Usage:  python benchmarks/run_all.py [--only fig10,fig17a,...]
+Usage:  python benchmarks/run_all.py [--only fig10,fig17a,...] [--jobs N]
+
+``--jobs N`` fans the experiment modules out over N worker processes.
+Processes, not threads: the experiments are pure CPython, so the GIL
+would serialise a thread pool — see ``thread_scaling``'s two columns.
+Output order stays deterministic (module list order) regardless of which
+worker finishes first.
 """
 
 import argparse
+import contextlib
 import importlib
+import io
 import os
 import sys
 import time
+from concurrent.futures import ProcessPoolExecutor
 
 MODULES = [
     "bench_table1_capabilities",
@@ -47,6 +56,55 @@ MODULES = [
 #: finds the single ``run_*`` function and ``write_result`` call.
 
 
+def _execute_module(module_name: str) -> int:
+    """Import one module, run its ``run_*`` functions, print the tables."""
+    module = importlib.import_module(module_name)
+    runners = [
+        getattr(module, attr)
+        for attr in dir(module)
+        if attr.startswith("run_")
+        and callable(getattr(module, attr))
+        # only runners defined in the module itself (not the shared
+        # run_once helper imported from _common).
+        and getattr(getattr(module, attr), "__module__", "") == module_name
+    ]
+    ran = 0
+    for runner in runners:
+        start = time.time()
+        print(f"\n##### {module_name}.{runner.__name__} " + "#" * 20)
+        try:
+            result = runner()
+        except TypeError:
+            # runners with a required arg (fig10's dataset) get both.
+            for ds in ("ycsb", "osm"):
+                table, _ = runner(ds)
+                print(table)
+            ran += 1
+            continue
+        if isinstance(result, tuple):
+            print(result[0])
+        else:
+            print(result)
+        print(f"[{time.time() - start:.1f}s wall]")
+        ran += 1
+    return ran
+
+
+def _execute_module_captured(module_name: str):
+    """Worker-process entry: run a module with stdout captured.
+
+    Top-level (picklable) and self-sufficient: it repairs ``sys.path``
+    because a spawned worker does not inherit the parent's insert.
+    """
+    bench_dir = os.path.dirname(os.path.abspath(__file__))
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        ran = _execute_module(module_name)
+    return module_name, buffer.getvalue(), ran
+
+
 def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument(
@@ -54,43 +112,33 @@ def main() -> int:
         default="",
         help="comma-separated experiment substrings (e.g. fig10,ext)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes to fan the modules out over (1 = in-process)",
+    )
     args = parser.parse_args()
     wanted = [w for w in args.only.split(",") if w]
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    selected = [
+        m for m in MODULES if not wanted or any(w in m for w in wanted)
+    ]
     ran = 0
     t0 = time.time()
-    for module_name in MODULES:
-        if wanted and not any(w in module_name for w in wanted):
-            continue
-        module = importlib.import_module(module_name)
-        runners = [
-            getattr(module, attr)
-            for attr in dir(module)
-            if attr.startswith("run_")
-            and callable(getattr(module, attr))
-            # only runners defined in the module itself (not the shared
-            # run_once helper imported from _common).
-            and getattr(getattr(module, attr), "__module__", "") == module_name
-        ]
-        for runner in runners:
-            start = time.time()
-            print(f"\n##### {module_name}.{runner.__name__} " + "#" * 20)
-            try:
-                result = runner()
-            except TypeError:
-                # runners with a required arg (fig10's dataset) get both.
-                for ds in ("ycsb", "osm"):
-                    table, _ = runner(ds)
-                    print(table)
-                ran += 1
-                continue
-            if isinstance(result, tuple):
-                print(result[0])
-            else:
-                print(result)
-            print(f"[{time.time() - start:.1f}s wall]")
-            ran += 1
+    if args.jobs > 1 and len(selected) > 1:
+        with ProcessPoolExecutor(max_workers=args.jobs) as pool:
+            for _name, output, count in pool.map(
+                _execute_module_captured, selected
+            ):
+                sys.stdout.write(output)
+                ran += count
+    else:
+        for module_name in selected:
+            ran += _execute_module(module_name)
     print(f"\n{ran} experiments in {time.time() - t0:.0f}s wall clock.")
     return 0 if ran else 1
 

@@ -106,7 +106,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
     mark = perf.begin()
     store.bulk_load([(k, k) for k in load])
     build_ns = perf.end(mark).time_ns
-    recorder, bytes_per_op = run_store_ops(store, ops, perf)
+    recorder, bytes_per_op = run_store_ops(
+        store, ops, perf, batch_size=args.batch_size
+    )
 
     print(
         format_table(
@@ -114,6 +116,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             [
                 ["index", spec.name],
                 ["workload", workload.name],
+                ["read batch size", args.batch_size],
                 ["dataset", f"{args.dataset} ({len(load):,} loaded keys)"],
                 ["operations", f"{len(recorder):,}"],
                 ["build (sim ms)", f"{build_ns / 1e6:.2f}"],
@@ -183,6 +186,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--keys", type=int, default=50_000)
     bench.add_argument("--ops", type=int, default=20_000)
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        help="group runs of consecutive reads into get_many batches of "
+        "this size (1 = per-key dispatch)",
+    )
 
     ds = sub.add_parser("datasets", help="inspect a synthetic dataset")
     ds.add_argument("--name", default="ycsb")

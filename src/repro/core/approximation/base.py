@@ -13,6 +13,8 @@ from bisect import bisect_right
 from dataclasses import dataclass
 from typing import List, Sequence
 
+import repro.core.approximation.vectorized as _vec
+
 
 @dataclass(frozen=True)
 class LinearModel:
@@ -56,15 +58,22 @@ class Segment:
         self.start = start
         self.n = len(keys)
         self.model = model
-        max_err = 0
-        sum_err = 0
-        for local_pos, key in enumerate(keys):
-            err = abs(model.predict_clamped(key, self.n) - local_pos)
-            sum_err += err
-            if err > max_err:
-                max_err = err
-        self.max_error = max_err
-        self.avg_error = sum_err / self.n if self.n else 0.0
+        measured = None
+        if self.n >= _vec.MIN_VECTOR_KEYS or not isinstance(keys, list):
+            arr = _vec.as_u64(keys)
+            if arr is not None:
+                measured = _vec.measure_errors(model, arr, self.n)
+        if measured is None:
+            max_err = 0
+            sum_err = 0
+            for local_pos, key in enumerate(keys):
+                err = abs(model.predict_clamped(key, self.n) - local_pos)
+                sum_err += err
+                if err > max_err:
+                    max_err = err
+            measured = (max_err, sum_err)
+        self.max_error = measured[0]
+        self.avg_error = measured[1] / self.n if self.n else 0.0
 
     def predict(self, key: int) -> int:
         """Predicted local offset of ``key`` within this segment."""

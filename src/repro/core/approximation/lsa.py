@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Sequence, Tuple
 
+import repro.core.approximation.vectorized as _vec
 from repro.core.approximation.base import (
     Approximation,
     Approximator,
@@ -50,26 +51,40 @@ def fit_least_squares(keys: Sequence[int], base_key: int) -> Tuple[float, float]
 
 
 class LSAApproximator(Approximator):
-    """Split keys into fixed chunks of ``segment_size`` and fit each by LSA."""
+    """Split keys into fixed chunks of ``segment_size`` and fit each by LSA.
+
+    ``vectorized=True`` (the default) uses numpy's closed-form least
+    squares per chunk when the keys convert exactly to uint64.  The fixed
+    chunking means segment boundaries are identical either way; the model
+    coefficients can differ from the scalar loop only in the last ulp
+    (pairwise vs. sequential summation).
+    """
 
     name = "LSA"
     bounded_error = False
 
-    def __init__(self, segment_size: int = 256):
+    def __init__(self, segment_size: int = 256, vectorized: bool = True):
         if segment_size < 1:
             raise InvalidConfigurationError(
                 f"segment_size must be >= 1, got {segment_size}"
             )
         self.segment_size = segment_size
+        self.vectorized = vectorized and _vec.HAVE_NUMPY
 
     def fit(self, keys: Sequence[int]) -> Approximation:
         if not keys:
             raise InvalidConfigurationError("cannot approximate an empty key set")
+        arr = _vec.as_u64(keys) if self.vectorized else None
         segments = []
         for start in range(0, len(keys), self.segment_size):
-            chunk = keys[start : start + self.segment_size]
-            base = chunk[0]
-            slope, intercept = fit_least_squares(chunk, base)
+            if arr is not None:
+                chunk = arr[start : start + self.segment_size]
+                base = int(chunk[0])
+                slope, intercept = _vec.fit_least_squares_np(chunk, base)
+            else:
+                chunk = keys[start : start + self.segment_size]
+                base = chunk[0]
+                slope, intercept = fit_least_squares(chunk, base)
             model = LinearModel(slope, intercept, base)
             segments.append(Segment(base, start, chunk, model))
         return Approximation(segments, len(keys))

@@ -13,6 +13,7 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence
 
+import repro.core.approximation.vectorized as _vec
 from repro.core.approximation.base import (
     Approximation,
     Approximator,
@@ -39,29 +40,43 @@ class GappedSegment(Segment):
         start: int,
         keys: Sequence[int],
         density: float,
+        vectorized: bool = True,
     ):
         n = len(keys)
         slots = max(n, math.ceil(n / density))
-        slope, intercept = fit_least_squares(keys, keys[0])
+        base = int(keys[0])
+        arr = (
+            _vec.as_u64(keys)
+            if vectorized and n >= _vec.MIN_VECTOR_KEYS
+            else None
+        )
+        if arr is not None:
+            slope, intercept = _vec.fit_least_squares_np(arr, base)
+        else:
+            slope, intercept = fit_least_squares(keys, base)
         scale = slots / n
-        model = LinearModel(slope * scale, intercept * scale, keys[0])
+        model = LinearModel(slope * scale, intercept * scale, base)
 
-        slot_keys: List[Optional[int]] = [None] * slots
-        max_err = 0
-        sum_err = 0
-        last = -1
-        for key in keys:
-            predicted = model.predict_clamped(key, slots)
-            slot = predicted if predicted > last else last + 1
-            if slot >= slots:
-                slot_keys.extend([None] * (slot - slots + 1))
-                slots = slot + 1
-            slot_keys[slot] = key
-            last = slot
-            err = abs(slot - predicted)
-            sum_err += err
-            if err > max_err:
-                max_err = err
+        placed = self._place_np(arr, model, slots) if arr is not None else None
+        if placed is None:
+            slot_keys: List[Optional[int]] = [None] * slots
+            max_err = 0
+            sum_err = 0
+            last = -1
+            for key in keys:
+                predicted = model.predict_clamped(key, slots)
+                slot = predicted if predicted > last else last + 1
+                if slot >= slots:
+                    slot_keys.extend([None] * (slot - slots + 1))
+                    slots = slot + 1
+                slot_keys[slot] = key
+                last = slot
+                err = abs(slot - predicted)
+                sum_err += err
+                if err > max_err:
+                    max_err = err
+        else:
+            slot_keys, slots, max_err, sum_err = placed
 
         self.first_key = first_key
         self.start = start
@@ -72,6 +87,31 @@ class GappedSegment(Segment):
         self.slots = slots
         self.slot_keys = slot_keys
         self.occupied = n
+
+    @staticmethod
+    def _place_np(arr, model, slots):
+        """Vectorized model-guided placement; ``None`` -> scalar fallback.
+
+        The scalar recurrence ``slot_i = max(pred_i, slot_{i-1} + 1)``
+        unrolls to ``slot_i = i + cummax(pred_i - i)`` — exact in integer
+        space.  The rare overflow case (a slot landing at/after the end,
+        which the scalar loop handles by growing the array *and* widening
+        the model clamp for later keys) is left to the scalar loop so the
+        two paths never diverge.
+        """
+        np = _vec.np
+        pred = _vec.predict_clamped_many(model, arr, slots)
+        if pred is None:
+            return None
+        idx = np.arange(arr.size, dtype=np.int64)
+        slot = idx + np.maximum.accumulate(pred - idx)
+        if int(slot[-1]) >= slots:
+            return None  # scalar loop would have extended the slot array
+        err = slot - pred  # placement only ever pushes keys rightward
+        slot_keys: List[Optional[int]] = [None] * slots
+        for s, k in zip(slot.tolist(), arr.tolist()):
+            slot_keys[s] = k
+        return slot_keys, slots, int(err.max()), int(err.sum())
 
     def predict(self, key: int) -> int:
         return self.model.predict_clamped(key, self.slots)
@@ -99,7 +139,12 @@ class LSAGapApproximator(Approximator):
     name = "LSA-gap"
     bounded_error = False
 
-    def __init__(self, segment_size: int = 4096, density: float = 0.7):
+    def __init__(
+        self,
+        segment_size: int = 4096,
+        density: float = 0.7,
+        vectorized: bool = True,
+    ):
         if segment_size < 1:
             raise InvalidConfigurationError(
                 f"segment_size must be >= 1, got {segment_size}"
@@ -110,14 +155,23 @@ class LSAGapApproximator(Approximator):
             )
         self.segment_size = segment_size
         self.density = density
+        self.vectorized = vectorized and _vec.HAVE_NUMPY
 
     def fit(self, keys: Sequence[int]) -> Approximation:
-        if not keys:
+        if not len(keys):
             raise InvalidConfigurationError("cannot approximate an empty key set")
         segments: List[Segment] = []
         for start in range(0, len(keys), self.segment_size):
             chunk = keys[start : start + self.segment_size]
-            segments.append(GappedSegment(chunk[0], start, chunk, self.density))
+            segments.append(
+                GappedSegment(
+                    int(chunk[0]),
+                    start,
+                    chunk,
+                    self.density,
+                    vectorized=self.vectorized,
+                )
+            )
         return Approximation(segments, len(keys))
 
     def __repr__(self) -> str:

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
+import repro.core.approximation.vectorized as _vec
 from repro.core.approximation.base import (
     Approximation,
     Approximator,
@@ -214,8 +215,13 @@ class OptPLAApproximator(Approximator):
         self.eps = eps
 
     def fit(self, keys: Sequence[int]) -> Approximation:
-        if not keys:
+        if not len(keys):
             raise InvalidConfigurationError("cannot approximate an empty key set")
+        arr = _vec.validate_fit_keys(keys, self.name)
+        # The hull maintenance stays scalar (each point's tangent walk
+        # depends on every previous point), but closing a segment through
+        # the exact uint64 array vectorizes its error-bound measurement.
+        measure_keys = arr if arr is not None else keys
         segments: List[Segment] = []
         start = 0
         pla = OptimalPLA(self.eps)
@@ -227,16 +233,23 @@ class OptPLAApproximator(Approximator):
             if pla.add(float(keys[i] - keys[start]), float(i - start)):
                 i += 1
                 continue
-            segments.append(self._close(keys, start, i, pla))
+            segments.append(self._close(keys, measure_keys, start, i, pla))
             start = i
             pla = OptimalPLA(self.eps)
-        segments.append(self._close(keys, start, n, pla))
+        segments.append(self._close(keys, measure_keys, start, n, pla))
         return Approximation(segments, n)
 
-    def _close(self, keys: Sequence[int], start: int, end: int, pla: OptimalPLA) -> Segment:
+    def _close(
+        self,
+        keys: Sequence[int],
+        measure_keys: Sequence[int],
+        start: int,
+        end: int,
+        pla: OptimalPLA,
+    ) -> Segment:
         slope, intercept = pla.current_line()
         model = LinearModel(slope, intercept, keys[start])
-        return Segment(keys[start], start, keys[start:end], model)
+        return Segment(keys[start], start, measure_keys[start:end], model)
 
     def __repr__(self) -> str:
         return f"OptPLAApproximator(eps={self.eps})"

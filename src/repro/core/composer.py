@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+import repro.core.approximation.vectorized as _vec
 from repro.core.approximation.base import Approximator
 from repro.core.insertion.base import InsertResult, Leaf
 from repro.core.insertion.strategies import InsertionStrategy
@@ -108,6 +109,42 @@ class ComposedIndex(UpdatableIndex):
             return None
         idx = self.structure.lookup(key)
         return self.leaves[idx].get(key)
+
+    def get_many(self, keys: Sequence[Key]) -> List[Optional[Value]]:
+        """Sorted-batch leaf routing.
+
+        The batch is argsorted, routed through the internal structure in
+        one vectorized pass (see ``InternalStructure.lookup_many``), and
+        each run of queries landing in the same leaf is answered with a
+        single ``Leaf.get_many`` call; answers scatter back to the
+        caller's order.  Any batch that cannot be converted exactly to
+        uint64 takes the per-key fallback, so results always match
+        ``[self.get(k) for k in keys]``.
+        """
+        n = len(keys)
+        if not self.leaves or not n:
+            return [None] * n
+        qs = _vec.as_u64(keys)
+        if qs is None:
+            return [self.get(key) for key in keys]
+        np = _vec.np
+        order = np.argsort(qs, kind="stable")
+        sorted_qs = qs[order]
+        leaf_idx = self.structure.lookup_many(sorted_qs)
+        order_list = order.tolist()
+        sorted_keys = sorted_qs.tolist()
+        results: List[Optional[Value]] = [None] * n
+        start = 0
+        while start < n:
+            li = leaf_idx[start]
+            end = start + 1
+            while end < n and leaf_idx[end] == li:
+                end += 1
+            values = self.leaves[li].get_many(sorted_keys[start:end])
+            for pos in range(start, end):
+                results[order_list[pos]] = values[pos - start]
+            start = end
+        return results
 
     def __len__(self) -> int:
         return self._n

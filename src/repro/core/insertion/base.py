@@ -111,6 +111,10 @@ class Leaf(ABC):
     @abstractmethod
     def get(self, key: int) -> Optional[Any]: ...
 
+    def get_many(self, keys: Any) -> List[Optional[Any]]:
+        """Batch :meth:`get`; strategies may override with a fast path."""
+        return [self.get(key) for key in keys]
+
     @abstractmethod
     def insert(self, key: int, value: Any) -> InsertResult: ...
 

@@ -11,6 +11,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
+import repro.core.approximation.vectorized as _vec
 from repro.errors import UnsupportedOperationError
 from repro.perf.context import DEFAULT_CONTEXT, PerfContext
 
@@ -78,6 +79,20 @@ class Index(ABC):
 
     def __contains__(self, key: Key) -> bool:
         return self.get(key) is not None
+
+    def get_many(self, keys: Sequence[Key]) -> List[Optional[Value]]:
+        """Batch point lookup; position ``i`` answers ``keys[i]``.
+
+        The default is the per-key loop, so every index satisfies the
+        same contract; indexes with a contiguous key array override this
+        with a vectorized fast path (one ``searchsorted`` for the whole
+        batch instead of one model descent per key).
+        """
+        return [self.get(key) for key in keys]
+
+    def contains_many(self, keys: Sequence[Key]) -> List[bool]:
+        """Batch membership test; equivalent to ``[k in self for k in keys]``."""
+        return [value is not None for value in self.get_many(keys)]
 
     @abstractmethod
     def __len__(self) -> int:
@@ -154,7 +169,19 @@ class UpdatableIndex(SortedIndex):
 
 def check_sorted_unique(items: Sequence[Tuple[Key, Value]]) -> None:
     """Validate a bulk-load input; raises ``ValueError`` on violation."""
-    for i in range(1, len(items)):
+    n = len(items)
+    if n >= _vec.MIN_VECTOR_KEYS:
+        arr = _vec.as_u64([k for k, _ in items])
+        if arr is not None:
+            ascending = arr[1:] > arr[:-1]
+            if bool(ascending.all()):
+                return
+            i = int(_vec.np.argmin(ascending)) + 1
+            raise ValueError(
+                f"bulk_load requires strictly ascending keys; items[{i - 1}]="
+                f"{items[i - 1][0]} >= items[{i}]={items[i][0]}"
+            )
+    for i in range(1, n):
         if items[i - 1][0] >= items[i][0]:
             raise ValueError(
                 f"bulk_load requires strictly ascending keys; items[{i - 1}]="

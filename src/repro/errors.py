@@ -25,6 +25,10 @@ class InvalidConfigurationError(ReproError):
     """An index or model was configured with invalid parameters."""
 
 
+class InvalidKeysError(ReproError):
+    """A fit/build received keys it cannot model (NaN, unsorted, dupes)."""
+
+
 class DeviceError(ReproError):
     """Simulated persistent-memory device error (out of space, bad offset)."""
 

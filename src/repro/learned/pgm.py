@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
+import repro.core.approximation.vectorized as _vec
 from repro.core.approximation.base import Approximation
 from repro.core.approximation.optpla import OptPLAApproximator
 from repro.core.insertion.base import rank_search
@@ -37,6 +38,10 @@ from repro.perf.events import Event
 
 #: Sentinel marking a deleted key inside the LSM levels.
 _TOMBSTONE = object()
+
+#: Sentinel distinguishing "not found yet" from "resolved to None" while a
+#: batched get drains through the LSM levels.
+_MISSING = object()
 
 #: Opt-PLA's convex-hull maintenance makes the build pass heavier than a
 #: plain spline pass; this constant scales the charged build work.
@@ -61,6 +66,7 @@ class PGMIndex(SortedIndex):
         self.eps_internal = eps_internal
         self._keys: List[Key] = []
         self._values: List[Any] = []
+        self._keys_np = None
         self._approx: Optional[Approximation] = None
         self._structure: Optional[LRSStructure] = None
 
@@ -68,6 +74,7 @@ class PGMIndex(SortedIndex):
         check_sorted_unique(items)
         self._keys = [k for k, _ in items]
         self._values = [v for _, v in items]
+        self._keys_np = _vec.as_u64(self._keys)
         if not items:
             self._approx = None
             self._structure = None
@@ -94,6 +101,36 @@ class PGMIndex(SortedIndex):
             self.perf.charge(Event.DRAM_SEQ)
             return self._values[pos]
         return None
+
+    def get_many(self, keys: Sequence[Key]) -> List[Optional[Value]]:
+        """One ``searchsorted`` over the contiguous key array per batch.
+
+        The per-probe ledger of the scalar descent (LRS hops, model
+        evals, bounded search) collapses into an aggregate bill: one
+        model eval per routing level and one comparison per halving of
+        the 2*eps search window, per query.  Results are always exactly
+        ``[self.get(k) for k in keys]``; inexact batches fall back.
+        """
+        if self._approx is None:
+            return [None] * len(keys)
+        qs = _vec.as_u64(keys) if self._keys_np is not None else None
+        if qs is None:
+            return [self.get(key) for key in keys]
+        np = _vec.np
+        pos = np.searchsorted(self._keys_np, qs, side="right").astype(np.int64) - 1
+        hit = (pos >= 0) & (self._keys_np[np.maximum(pos, 0)] == qs)
+        n = len(keys)
+        levels = self._structure.height + 1
+        window_steps = max(1, (2 * self.eps).bit_length())
+        self.perf.charge(Event.MODEL_EVAL, n * levels)
+        self.perf.charge(Event.DRAM_HOP, n * 2)
+        self.perf.charge(Event.COMPARE, n * window_steps)
+        self.perf.charge(Event.DRAM_SEQ, int(hit.sum()))
+        values = self._values
+        return [
+            values[p] if h else None
+            for p, h in zip(pos.tolist(), hit.tolist())
+        ]
 
     def range(self, lo: Key, hi: Key) -> Iterator[Tuple[Key, Value]]:
         if self._approx is None:
@@ -315,6 +352,42 @@ class DynamicPGMIndex(UpdatableIndex):
             if hit is not None:
                 return None if hit is _TOMBSTONE else hit
         return None
+
+    def get_many(self, keys: Sequence[Key]) -> List[Optional[Value]]:
+        """Batch get through the LSM: buffer first, then levels newest-first.
+
+        Unresolved keys drain level by level, so each static PGM level
+        answers one (shrinking) batch with its own vectorized
+        ``get_many``; tombstones resolve a key to ``None`` and stop the
+        drain, matching the scalar path's first-writer-wins semantics.
+        """
+        n = len(keys)
+        out: List[Optional[Value]] = [None] * n
+        unresolved = list(range(n))
+        if self._buffer:
+            self.perf.charge(Event.DRAM_HOP)
+            self.perf.charge(Event.COMPARE, n)
+            staged = dict(self._buffer)
+            still: List[int] = []
+            for i in unresolved:
+                value = staged.get(keys[i], _MISSING)
+                if value is _MISSING:
+                    still.append(i)
+                else:
+                    out[i] = None if value is _TOMBSTONE else value
+            unresolved = still
+        for level in self._levels:
+            if level is None or not unresolved:
+                continue
+            values = level.get_many([keys[i] for i in unresolved])
+            still = []
+            for i, value in zip(unresolved, values):
+                if value is None:
+                    still.append(i)
+                else:
+                    out[i] = None if value is _TOMBSTONE else value
+            unresolved = still
+        return out
 
     def range(self, lo: Key, hi: Key) -> Iterator[Tuple[Key, Value]]:
         sources: List[List[Tuple[Key, Any]]] = []

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
+import repro.core.approximation.vectorized as _vec
 from repro.core.approximation.spline import SplineModel, build_spline
 from repro.core.insertion.base import rank_search
 from repro.core.interfaces import (
@@ -50,6 +51,7 @@ class RadixSplineIndex(SortedIndex):
         self.r_bits = r_bits
         self._keys: List[Key] = []
         self._values: List[Any] = []
+        self._keys_np = None
         self._spline: Optional[SplineModel] = None
         self._table: List[int] = []
         self._min_key = 0
@@ -59,6 +61,7 @@ class RadixSplineIndex(SortedIndex):
         check_sorted_unique(items)
         self._keys = [k for k, _ in items]
         self._values = [v for _, v in items]
+        self._keys_np = _vec.as_u64(self._keys)
         n = len(items)
         if n == 0:
             self._spline = None
@@ -134,6 +137,34 @@ class RadixSplineIndex(SortedIndex):
             self.perf.charge(Event.DRAM_SEQ)
             return self._values[pos]
         return None
+
+    def get_many(self, keys: Sequence[Key]) -> List[Optional[Value]]:
+        """One ``searchsorted`` over the key array for the whole batch.
+
+        The radix probe + knot interpolation + bounded search per key is
+        billed as one aggregate charge: a table probe and model eval per
+        query plus one comparison per halving of the eps window.
+        Results always equal ``[self.get(k) for k in keys]``.
+        """
+        if self._spline is None:
+            return [None] * len(keys)
+        qs = _vec.as_u64(keys) if self._keys_np is not None else None
+        if qs is None:
+            return [self.get(key) for key in keys]
+        np = _vec.np
+        pos = np.searchsorted(self._keys_np, qs, side="right").astype(np.int64) - 1
+        hit = (pos >= 0) & (self._keys_np[np.maximum(pos, 0)] == qs)
+        n = len(keys)
+        window_steps = max(1, (2 * self.eps).bit_length())
+        self.perf.charge(Event.DRAM_HOP, n * 2)
+        self.perf.charge(Event.MODEL_EVAL, n)
+        self.perf.charge(Event.COMPARE, n * window_steps)
+        self.perf.charge(Event.DRAM_SEQ, int(hit.sum()))
+        values = self._values
+        return [
+            values[p] if h else None
+            for p, h in zip(pos.tolist(), hit.tolist())
+        ]
 
     def range(self, lo: Key, hi: Key) -> Iterator[Tuple[Key, Value]]:
         if self._spline is None:

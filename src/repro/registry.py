@@ -234,6 +234,18 @@ def specs(
     return out
 
 
+def has_native_batch(index: Union[Index, type]) -> bool:
+    """Whether ``index`` overrides the per-key ``Index.get_many`` fallback.
+
+    The batch contract holds either way; this only distinguishes a real
+    vectorized path from the default loop, so benchmarks and the
+    perf-smoke gate can hold native implementations to "faster than
+    scalar" without penalising fallback indexes for list bookkeeping.
+    """
+    cls = index if isinstance(index, type) else type(index)
+    return cls.get_many is not Index.get_many
+
+
 def _bound_factory(
     spec: IndexSpec, overrides: Mapping[str, Any]
 ) -> Callable[..., Index]:
@@ -420,6 +432,7 @@ __all__ = [
     "IndexSpec",
     "UnknownIndexError",
     "factories",
+    "has_native_batch",
     "register",
     "resolve",
     "specs",

@@ -99,6 +99,18 @@ class ViperStore:
         _, value = self.device.read_record(*location)
         return value
 
+    def get_many(self, keys: List[int]) -> List[Optional[Any]]:
+        """Batch get: one index batch lookup, then per-hit NVM reads."""
+        self._check_alive()
+        out: List[Optional[Any]] = []
+        for location in self.index.get_many(keys):
+            if location is None:
+                out.append(None)
+            else:
+                _, value = self.device.read_record(*location)
+                out.append(value)
+        return out
+
     def update(self, key: int, value: Any) -> bool:
         self._check_alive()
         if self.index.get(key) is None:

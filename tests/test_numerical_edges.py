@@ -19,6 +19,7 @@ from repro.core.approximation import (
     OptPLAApproximator,
 )
 from repro.core.approximation.lsa import fit_least_squares
+from repro.errors import ReproError
 
 U64_MAX = 2**64 - 1
 
@@ -109,6 +110,51 @@ class TestDegenerateShapes:
         keys = list(range(0, 5000 * stride, stride))
         approx = OptPLAApproximator(eps=1).fit(keys)
         assert approx.leaf_count == 1
+
+
+class TestFitInputValidation:
+    """Error-bounded fits reject input their segmentation math cannot model.
+
+    A NaN or an out-of-order key would silently produce a zero/negative
+    key delta inside the greedy window (division blow-up) or a
+    non-monotone hull in Opt-PLA; both now fail fast with a
+    :class:`ReproError` subclass instead.
+    """
+
+    APPROXIMATORS = [
+        GreedyPLAApproximator(eps=8),
+        GreedyPLAApproximator(eps=8, vectorized=False),
+        OptPLAApproximator(eps=8),
+    ]
+
+    @pytest.mark.parametrize("approximator", APPROXIMATORS)
+    def test_nan_rejected(self, approximator):
+        keys = [1.0, 2.0, float("nan"), 4.0]
+        with pytest.raises(ReproError, match="NaN|ascending"):
+            approximator.fit(keys)
+
+    @pytest.mark.parametrize("approximator", APPROXIMATORS)
+    def test_unsorted_rejected(self, approximator):
+        with pytest.raises(ReproError, match="ascending"):
+            approximator.fit([10, 5, 20, 30])
+
+    @pytest.mark.parametrize("approximator", APPROXIMATORS)
+    def test_duplicates_rejected(self, approximator):
+        with pytest.raises(ReproError, match="ascending"):
+            approximator.fit([1, 2, 2, 3])
+
+    @pytest.mark.parametrize("approximator", APPROXIMATORS)
+    def test_large_unsorted_rejected(self, approximator):
+        # Big enough to hit the numpy validation path, not the scalar one.
+        keys = list(range(1, 5000))
+        keys[3000], keys[3001] = keys[3001], keys[3000]
+        with pytest.raises(ReproError, match="ascending"):
+            approximator.fit(keys)
+
+    @pytest.mark.parametrize("approximator", APPROXIMATORS)
+    def test_valid_input_still_fits(self, approximator):
+        approx = approximator.fit(list(range(0, 1000, 3)))
+        assert approx.n_keys == len(range(0, 1000, 3))
 
 
 class TestPrecisionInvariant:
