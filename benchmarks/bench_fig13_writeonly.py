@@ -5,7 +5,14 @@ FITing-tree-inp worst with >100x tail blowups from key shifting; apart from ALEX
 learned indexes show no advantage over traditional trees; XIndex and
 FITing-tree-buf degrade the most from the small to the large size
 (offsite buffers force batches of retrains).
+
+``--jobs N`` fans the per-(size, index) measurements out over worker
+processes (each cell is independent: its own store, its own simulated
+clock), like the multithread figures do.
 """
+
+import argparse
+from concurrent.futures import ProcessPoolExecutor
 
 from _common import (
     SIZE_LABELS,
@@ -21,30 +28,43 @@ from repro.workloads import WRITE_ONLY, generate_operations
 from repro.workloads.ycsb import split_load_and_inserts
 
 
-def run_writeonly():
+def _measure_cell(cell):
+    """One (size, index) write-only measurement; top-level so it pickles."""
+    n, name = cell
+    keys = dataset("ycsb", n)
+    load, inserts = split_load_and_inserts(keys, 0.5, seed=13)
+    n_ops = len(inserts) - 1
+    ops = generate_operations(WRITE_ONLY, n_ops, load, inserts, seed=13)
+    store, perf = loaded_store(WRITE_CASE[name], load)
+    recorder, bytes_per_op = run_store_ops(store, ops, perf)
+    result = BenchResult.from_recorder(
+        name, f"write-{SIZE_LABELS[n]}", recorder, bytes_per_op
+    )
+    return n, name, result
+
+
+def run_writeonly(jobs: int = 1):
+    cells = [
+        (n, name) for n in (SMALL_N, LARGE_N) for name in WRITE_CASE
+    ]
+    if jobs > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            measured = list(pool.map(_measure_cell, cells))
+    else:
+        measured = [_measure_cell(cell) for cell in cells]
     rows = []
     results = {}
-    for n in (SMALL_N, LARGE_N):
-        keys = dataset("ycsb", n)
-        load, inserts = split_load_and_inserts(keys, 0.5, seed=13)
-        n_ops = len(inserts) - 1
-        ops = generate_operations(WRITE_ONLY, n_ops, load, inserts, seed=13)
-        for name, factory in WRITE_CASE.items():
-            store, perf = loaded_store(factory, load)
-            recorder, bytes_per_op = run_store_ops(store, ops, perf)
-            result = BenchResult.from_recorder(
-                name, f"write-{SIZE_LABELS[n]}", recorder, bytes_per_op
-            )
-            results[(n, name)] = result
-            rows.append(
-                [
-                    SIZE_LABELS[n],
-                    name,
-                    f"{result.throughput_mops:.3f}",
-                    f"{result.p50_ns / 1000:.2f}",
-                    f"{result.p999_ns / 1000:.2f}",
-                ]
-            )
+    for n, name, result in measured:
+        results[(n, name)] = result
+        rows.append(
+            [
+                SIZE_LABELS[n],
+                name,
+                f"{result.throughput_mops:.3f}",
+                f"{result.p50_ns / 1000:.2f}",
+                f"{result.p999_ns / 1000:.2f}",
+            ]
+        )
     table = format_table(
         ["size", "index", "Mops/s", "p50 (us)", "p99.9 (us)"],
         rows,
@@ -77,5 +97,11 @@ def test_fig13_writeonly(benchmark):
 
 
 if __name__ == "__main__":
-    table, _ = run_writeonly()
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the per-(size, index) measurements",
+    )
+    args = parser.parse_args()
+    table, _ = run_writeonly(jobs=args.jobs)
     write_result("fig13_writeonly", table)

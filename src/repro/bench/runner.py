@@ -46,6 +46,11 @@ class OpTarget:
     def put(self, key: int, value) -> None:
         raise NotImplementedError
 
+    def put_many(self, items: Sequence[Tuple[int, int]]) -> None:
+        """Batch write; targets with a native fast path override."""
+        for key, value in items:
+            self.put(key, value)
+
     def scan(self, key: int, count: int):
         raise NotImplementedError
 
@@ -67,6 +72,9 @@ class IndexAdapter(OpTarget):
     def put(self, key: int, value) -> None:
         self.index.insert(key, value)
 
+    def put_many(self, items: Sequence[Tuple[int, int]]) -> None:
+        self.index.insert_many(items)
+
     def scan(self, key: int, count: int):
         return self.index.scan(key, count)
 
@@ -87,6 +95,9 @@ class StoreAdapter(OpTarget):
 
     def put(self, key: int, value) -> None:
         self.store.put(key, value)
+
+    def put_many(self, items: Sequence[Tuple[int, int]]) -> None:
+        self.store.put_many(list(items))
 
     def scan(self, key: int, count: int):
         return self.store.scan(key, count)
@@ -165,13 +176,14 @@ def execute_ops(
     attribute every operation's hardware events by kind ("what is in my
     p99.9?" — see ``docs/cost_model.md``).
 
-    ``batch_size > 1`` enables batch dispatch: runs of consecutive READ
-    operations are grouped (up to ``batch_size``) and served with a
-    single ``target.get_many`` call; a non-READ operation flushes the
-    pending batch so the workload's interleaving semantics are
-    preserved.  Each batched read is recorded at the batch's amortised
-    per-op latency, so recorder lengths and bytes/op stay comparable to
-    ``batch_size=1``.
+    ``batch_size > 1`` enables batch dispatch: runs of *consecutive
+    same-kind* READ, UPDATE, or INSERT operations are grouped (up to
+    ``batch_size``) and served with a single ``target.get_many`` /
+    ``target.put_many`` call; a kind change (or an RMW/SCAN, which stay
+    scalar) flushes the pending batch so the workload's interleaving
+    semantics are preserved.  Each batched op is recorded at the batch's
+    amortised per-op latency, so recorder lengths and bytes/op stay
+    comparable to ``batch_size=1``.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -179,33 +191,44 @@ def execute_ops(
     by_kind: Dict[OpKind, LatencyRecorder] = {}
     total_bytes = 0
 
-    read_batch: List[int] = []
+    batch: List[Operation] = []
+    batch_kind: Optional[OpKind] = None
 
-    def flush_reads() -> int:
-        keys = read_batch
+    def flush_batch() -> int:
+        nonlocal batch_kind
         mark = perf.begin()
-        target.get_many(keys)
+        if batch_kind is OpKind.READ:
+            target.get_many([op.key for op in batch])
+        else:
+            # Mirrors _do_write: the key doubles as the value.
+            target.put_many([(op.key, op.key) for op in batch])
         measured = perf.end(mark)
-        per_op_ns = measured.time_ns / len(keys)
-        kind_rec = by_kind.get(OpKind.READ)
+        per_op_ns = measured.time_ns / len(batch)
+        kind_rec = by_kind.get(batch_kind)
         if kind_rec is None:
-            kind_rec = by_kind[OpKind.READ] = LatencyRecorder()
-        for _ in keys:
+            kind_rec = by_kind[batch_kind] = LatencyRecorder()
+        for _ in batch:
             recorder.record(per_op_ns)
             kind_rec.record(per_op_ns)
         if profiler is not None:
-            profiler.record_measured(OpKind.READ.value, measured)
-        read_batch.clear()
+            profiler.record_measured(batch_kind.value, measured)
+        batch.clear()
+        batch_kind = None
         return measured.bytes
 
+    _BATCHABLE = (OpKind.READ, OpKind.UPDATE, OpKind.INSERT)
+
     for op in ops:
-        if batch_size > 1 and op.kind is OpKind.READ:
-            read_batch.append(op.key)
-            if len(read_batch) >= batch_size:
-                total_bytes += flush_reads()
+        if batch_size > 1 and op.kind in _BATCHABLE:
+            if batch and batch_kind is not op.kind:
+                total_bytes += flush_batch()
+            batch.append(op)
+            batch_kind = op.kind
+            if len(batch) >= batch_size:
+                total_bytes += flush_batch()
             continue
-        if read_batch:
-            total_bytes += flush_reads()
+        if batch:
+            total_bytes += flush_batch()
         handler = OP_HANDLERS[op.kind]
         mark = perf.begin()
         handler(target, op)
@@ -218,8 +241,8 @@ def execute_ops(
         total_bytes += measured.bytes
         if profiler is not None:
             profiler.record_measured(op.kind.value, measured)
-    if read_batch:
-        total_bytes += flush_reads()
+    if batch:
+        total_bytes += flush_batch()
     bytes_per_op = total_bytes / max(1, len(recorder))
     return ExecutionResult(recorder, bytes_per_op, by_kind)
 

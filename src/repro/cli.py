@@ -116,7 +116,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             [
                 ["index", spec.name],
                 ["workload", workload.name],
-                ["read batch size", args.batch_size],
+                ["batch size", args.batch_size],
                 ["dataset", f"{args.dataset} ({len(load):,} loaded keys)"],
                 ["operations", f"{len(recorder):,}"],
                 ["build (sim ms)", f"{build_ns / 1e6:.2f}"],
@@ -190,8 +190,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size",
         type=int,
         default=1,
-        help="group runs of consecutive reads into get_many batches of "
-        "this size (1 = per-key dispatch)",
+        help="group runs of consecutive reads into get_many batches and "
+        "consecutive writes into put_many batches of this size "
+        "(1 = per-key dispatch)",
     )
 
     ds = sub.add_parser("datasets", help="inspect a synthetic dataset")

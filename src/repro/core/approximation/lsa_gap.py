@@ -32,7 +32,7 @@ class GappedSegment(Segment):
     model's predicted slot and the slot the key actually occupies.
     """
 
-    __slots__ = ("slots", "slot_keys", "occupied")
+    __slots__ = ("slots", "slot_keys", "occupied", "slot_pos", "keys_u64")
 
     def __init__(
         self,
@@ -75,8 +75,9 @@ class GappedSegment(Segment):
                 sum_err += err
                 if err > max_err:
                     max_err = err
+            slot_pos = keys_u64 = None
         else:
-            slot_keys, slots, max_err, sum_err = placed
+            slot_keys, slots, max_err, sum_err, slot_pos, keys_u64 = placed
 
         self.first_key = first_key
         self.start = start
@@ -87,6 +88,11 @@ class GappedSegment(Segment):
         self.slots = slots
         self.slot_keys = slot_keys
         self.occupied = n
+        # Retained by the vectorized placement so GappedLeaf can build its
+        # numpy slot storage by fancy indexing instead of re-scanning the
+        # slot list; None when placement ran scalar.
+        self.slot_pos = slot_pos
+        self.keys_u64 = keys_u64
 
     @staticmethod
     def _place_np(arr, model, slots):
@@ -111,7 +117,7 @@ class GappedSegment(Segment):
         slot_keys: List[Optional[int]] = [None] * slots
         for s, k in zip(slot.tolist(), arr.tolist()):
             slot_keys[s] = k
-        return slot_keys, slots, int(err.max()), int(err.sum())
+        return slot_keys, slots, int(err.max()), int(err.sum()), slot, arr
 
     def predict(self, key: int) -> int:
         return self.model.predict_clamped(key, self.slots)

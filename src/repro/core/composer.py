@@ -184,6 +184,92 @@ class ComposedIndex(UpdatableIndex):
             f"{_MAX_RETRAIN_ATTEMPTS} retrains"
         )
 
+    def upsert(self, key: Key, value: Value) -> Optional[Value]:
+        """Single-descent insert-or-overwrite: one structure lookup plus
+        one in-leaf rank search resolves both the old value and the write
+        target (the default would probe and then insert — two descents)."""
+        if not self.leaves:
+            self.insert(key, value)
+            return None
+        for _ in range(_MAX_RETRAIN_ATTEMPTS):
+            idx = self.structure.lookup(key)
+            result, old = self.leaves[idx].upsert(key, value)
+            if result is InsertResult.INSERTED:
+                self._n += 1
+                return None
+            if result is InsertResult.UPDATED:
+                return old
+            self._retrain(idx)
+        raise ReproError(
+            f"upsert of key {key} did not converge after "
+            f"{_MAX_RETRAIN_ATTEMPTS} retrains"
+        )
+
+    def insert_many(self, items: Sequence[Tuple[Key, Value]]) -> None:
+        """Sorted-batch leaf routing for inserts.
+
+        Mirrors ``get_many``: the batch is argsorted (stably, so on
+        duplicate keys the later item still wins) and routed through
+        ``InternalStructure.lookup_many`` in one pass.  Each run of keys
+        landing in the same leaf is offered to ``Leaf.insert_batch``
+        (vectorized merge-and-re-spread for gapped leaves); runs the leaf
+        declines take the per-key loop.  A leaf reporting FULL falls back
+        to the scalar ``insert`` (which runs the retrain loop) and the
+        *remaining* suffix is re-routed, since retraining changes the
+        leaf list.
+        """
+        n = len(items)
+        if not n:
+            return
+        if not self.leaves:
+            self.insert(*items[0])
+            if n > 1:
+                self.insert_many(items[1:])
+            return
+        qs = _vec.as_u64([k for k, _ in items])
+        if qs is None:
+            for key, value in items:
+                self.insert(key, value)
+            return
+        np = _vec.np
+        order = np.argsort(qs, kind="stable")
+        sorted_qs = qs[order]
+        pairs = [items[j] for j in order.tolist()]
+        i = 0
+        while i < n:
+            leaf_idx = self.structure.lookup_many(sorted_qs[i:])
+            total = len(leaf_idx)
+            rerouted = False
+            start = 0
+            while start < total:
+                li = leaf_idx[start]
+                end = start + 1
+                while end < total and leaf_idx[end] == li:
+                    end += 1
+                leaf = self.leaves[li]
+                done = leaf.insert_batch(pairs[i + start : i + end])
+                if done is not None:
+                    self._n += done
+                    start = end
+                    continue
+                for off in range(start, end):
+                    key, value = pairs[i + off]
+                    result = leaf.insert(key, value)
+                    if result is InsertResult.INSERTED:
+                        self._n += 1
+                    elif result is InsertResult.FULL:
+                        # Scalar insert retrains until the key fits, then
+                        # the outer loop re-routes what is left.
+                        self.insert(key, value)
+                        i += off + 1
+                        rerouted = True
+                        break
+                if rerouted:
+                    break
+                start = end
+            if not rerouted:
+                break
+
     def delete(self, key: Key) -> bool:
         if not self.leaves:
             return False

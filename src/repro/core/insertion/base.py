@@ -118,6 +118,29 @@ class Leaf(ABC):
     @abstractmethod
     def insert(self, key: int, value: Any) -> InsertResult: ...
 
+    def upsert(self, key: int, value: Any) -> Tuple[InsertResult, Optional[Any]]:
+        """Insert-or-overwrite in one call; returns ``(result, old_value)``.
+
+        ``old_value`` is the payload that was overwritten when the result
+        is UPDATED, ``None`` otherwise.  The default probes then inserts
+        (two rank searches); the concrete leaves override this with a
+        single-search path and implement :meth:`insert` on top of it, so
+        a store-level put costs one leaf search, not two.
+        """
+        old = self.get(key)
+        result = self.insert(key, value)
+        return result, (old if result is InsertResult.UPDATED else None)
+
+    def insert_batch(self, items: List[Tuple[int, Any]]) -> Optional[int]:
+        """Bulk upsert of a sorted run of pairs (last duplicate wins).
+
+        Returns the number of *new* keys absorbed, or ``None`` when the
+        leaf wants the caller to fall back to per-key :meth:`insert`
+        (which is always correct) — the default, since only leaves with a
+        vectorized storage backend can do better.
+        """
+        return None
+
     def delete(self, key: int) -> bool:
         """Remove ``key``; return False if absent.  Strategies override."""
         raise NotImplementedError

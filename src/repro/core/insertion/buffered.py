@@ -91,17 +91,22 @@ class BufferedLeaf(Leaf):
         return None
 
     def insert(self, key: int, value: Any) -> InsertResult:
+        return self.upsert(key, value)[0]
+
+    def upsert(self, key: int, value: Any) -> Tuple[InsertResult, Optional[Any]]:
         self.perf.charge(Event.DRAM_HOP)
         idx = self._main_rank(key)
         if idx >= 0 and self._keys[idx] == key:
+            old = self._values[idx]
             self._values[idx] = value
-            return InsertResult.UPDATED
+            return InsertResult.UPDATED, old
         bidx = self._buffer_rank(key)
         if bidx >= 0 and self._buf_keys[bidx] == key:
+            old = self._buf_values[bidx]
             self._buf_values[bidx] = value
-            return InsertResult.UPDATED
+            return InsertResult.UPDATED, old
         if len(self._buf_keys) >= self.buffer_capacity:
-            return InsertResult.FULL
+            return InsertResult.FULL, None
         # Insert into the buffer, keeping it sorted: everything to the
         # right of the insertion point moves one slot.
         pos = bidx + 1
@@ -109,7 +114,7 @@ class BufferedLeaf(Leaf):
         self.perf.charge(Event.KEY_MOVE, moves)
         self._buf_keys.insert(pos, key)
         self._buf_values.insert(pos, value)
-        return InsertResult.INSERTED
+        return InsertResult.INSERTED, None
 
     def items(self) -> List[Tuple[int, Any]]:
         # Two-way merge of main run and buffer.

@@ -96,18 +96,22 @@ class InplaceLeaf(Leaf):
         return None
 
     def insert(self, key: int, value: Any) -> InsertResult:
+        return self.upsert(key, value)[0]
+
+    def upsert(self, key: int, value: Any) -> Tuple[InsertResult, Optional[Any]]:
         self.perf.charge(Event.DRAM_HOP)
         idx = self._rank(key)
         if idx >= self._left and self._keys[idx] == key:
+            old = self._values[idx]
             self._values[idx] = value
-            return InsertResult.UPDATED
+            return InsertResult.UPDATED, old
         target = idx + 1  # the slot the new key must occupy
 
         charge = self.perf.charge
         left_space = self._left > 0
         right_space = self._right < self._capacity
         if not left_space and not right_space:
-            return InsertResult.FULL
+            return InsertResult.FULL, None
 
         shift_left = target - self._left  # keys to move if shifting left
         shift_right = self._right - target  # keys to move if shifting right
@@ -128,7 +132,7 @@ class InplaceLeaf(Leaf):
         self._keys[target] = key
         self._values[target] = value
         self._dirty += 1
-        return InsertResult.INSERTED
+        return InsertResult.INSERTED, None
 
     @property
     def capacity_slots(self) -> int:

@@ -104,6 +104,52 @@ class Index(ABC):
         """Insert a new key (or overwrite an existing one)."""
         raise UnsupportedOperationError(f"{self.name} is read-only")
 
+    def insert_many(self, items: Sequence[Tuple[Key, Value]]) -> None:
+        """Batch insert; observably equivalent to inserting ``items`` in
+        order (so on duplicate keys within the batch the last value wins).
+
+        The default is the per-key loop, so every updatable index
+        satisfies the same contract; indexes whose structure admits it
+        override with a native path (one LSM merge, sorted leaf routing,
+        leaf-chain reuse) — see ``registry.has_native_batch_insert``.
+        Read-only indexes raise ``UnsupportedOperationError``.
+        """
+        for key, value in items:
+            self.insert(key, value)
+
+    def upsert(self, key: Key, value: Value) -> Optional[Value]:
+        """Insert-or-overwrite; returns the previous value, or ``None`` if
+        the key was fresh.
+
+        This is the store's put primitive: one call resolves the old
+        record location *and* repoints the index.  The default costs a
+        probe plus a write (two traversals); indexes with a single-descent
+        path override it so a put charges one lookup and one write, as in
+        the paper's cost model.
+        """
+        old = self.get(key)
+        if old is None or self.insert_is_upsert:
+            self.insert(key, value)
+        else:
+            self.update(key, value)
+        return old
+
+    def upsert_many(
+        self, items: Sequence[Tuple[Key, Value]]
+    ) -> List[Optional[Value]]:
+        """Batch :meth:`upsert`; observably equivalent to upserting the
+        items in order, returning each item's previous value (so on
+        duplicate keys within the batch the second occurrence sees the
+        first occurrence's value as its "old").
+
+        This is the store's bulk-put primitive.  The default is the
+        per-key loop; indexes whose batch insert path can also resolve
+        old values in the same descent override it so a bulk put costs
+        one traversal per key, not a probe pass plus a write pass — see
+        ``registry.has_native_batch_upsert``.
+        """
+        return [self.upsert(key, value) for key, value in items]
+
     def update(self, key: Key, value: Value) -> bool:
         """Overwrite an existing key's value; return False if absent."""
         raise UnsupportedOperationError(f"{self.name} is read-only")

@@ -310,6 +310,35 @@ class DynamicPGMIndex(UpdatableIndex):
     def insert(self, key: Key, value: Value) -> None:
         self._put(key, value)
 
+    def insert_many(self, items: Sequence[Tuple[Key, Value]]) -> None:
+        """Native batch insert: one merge into the buffer, one carry.
+
+        Sequential ``insert`` pays a rank search plus a list shift per
+        key and triggers a carry every ``base_level_size`` inserts; the
+        batch path sorts the items once (stably, so the batch's last
+        write of a duplicate key wins), merges them into the staging
+        buffer in one newest-wins pass, and carries at most once.  The
+        observable LSM state is the same — staged keys shadow deeper
+        copies either way — while the event bill is the coarse aggregate
+        of the one merge (see ``docs/performance.md``).
+        """
+        if len(items) <= 1:
+            for key, value in items:
+                self._put(key, value)
+            return
+        batch: List[Tuple[Key, Any]] = []
+        for key, value in sorted(items, key=lambda kv: kv[0]):
+            if batch and batch[-1][0] == key:
+                batch[-1] = (key, value)  # in-batch duplicate: last wins
+            else:
+                batch.append((key, value))
+        self.perf.charge(Event.DRAM_HOP)
+        self.perf.charge(Event.COMPARE, len(batch) + len(self._buffer))
+        self.perf.charge(Event.KEY_MOVE, len(batch) + len(self._buffer))
+        self._buffer = self._merge(batch, self._buffer)
+        if len(self._buffer) >= self.base_level_size:
+            self._carry()
+
     def update(self, key: Key, value: Value) -> bool:
         """In-place payload overwrite: a value update does not change the
         key set, so it must not grow the LSM (it would otherwise shadow

@@ -246,6 +246,30 @@ def has_native_batch(index: Union[Index, type]) -> bool:
     return cls.get_many is not Index.get_many
 
 
+def has_native_batch_insert(index: Union[Index, type]) -> bool:
+    """Whether ``index`` overrides the per-key ``Index.insert_many`` fallback.
+
+    The write-batch counterpart of :func:`has_native_batch`: the
+    ``insert_many`` contract (observably equivalent to sequential
+    inserts, last write wins on duplicates) holds either way, this only
+    tells benchmarks which indexes have a real bulk write path to hold
+    to "faster than scalar".
+    """
+    cls = index if isinstance(index, type) else type(index)
+    return cls.insert_many is not Index.insert_many
+
+
+def has_native_batch_upsert(index: Union[Index, type]) -> bool:
+    """Whether ``index`` overrides the per-key ``Index.upsert_many`` fallback.
+
+    A native ``upsert_many`` resolves each item's old value in the same
+    descent that writes the new one, so ``ViperStore.put_many`` can skip
+    its separate ``get_many`` probe pass for such indexes.
+    """
+    cls = index if isinstance(index, type) else type(index)
+    return cls.upsert_many is not Index.upsert_many
+
+
 def _bound_factory(
     spec: IndexSpec, overrides: Mapping[str, Any]
 ) -> Callable[..., Index]:
@@ -433,6 +457,8 @@ __all__ = [
     "UnknownIndexError",
     "factories",
     "has_native_batch",
+    "has_native_batch_insert",
+    "has_native_batch_upsert",
     "register",
     "resolve",
     "specs",

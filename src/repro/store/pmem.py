@@ -10,7 +10,7 @@ crash; only the DRAM-side index is lost.
 from __future__ import annotations
 
 import math
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import DeviceError, InvalidConfigurationError
 from repro.perf.context import DEFAULT_CONTEXT, PerfContext
@@ -62,6 +62,33 @@ class PMemDevice:
         self._pages.append(_Page(self.slots_per_page))
         return len(self._pages) - 1
 
+    def allocate_slots(self, n: int) -> List[Tuple[int, int]]:
+        """Allocate ``n`` slots on fresh pages with one batched ALLOC.
+
+        Returns ``n`` ``(page_id, slot)`` addresses — the same addresses
+        ``n`` sequential :meth:`allocate_page` + slot-cursor walks would
+        produce, with ``ALLOC`` charged once for all
+        ``ceil(n / slots_per_page)`` pages instead of per page.  The last
+        page may be partially used; the caller owns its remaining slots.
+        """
+        if n <= 0:
+            return []
+        pages_needed = -(-n // self.slots_per_page)
+        if (
+            self.capacity_pages is not None
+            and len(self._pages) + pages_needed > self.capacity_pages
+        ):
+            raise DeviceError("device full: no pages left")
+        self.perf.charge(Event.ALLOC, pages_needed)
+        first = len(self._pages)
+        self._pages.extend(
+            _Page(self.slots_per_page) for _ in range(pages_needed)
+        )
+        return [
+            (first + i // self.slots_per_page, i % self.slots_per_page)
+            for i in range(n)
+        ]
+
     @property
     def page_count(self) -> int:
         return len(self._pages)
@@ -82,6 +109,26 @@ class PMemDevice:
             page.used += 1
         page.slots[slot] = (key, value)
         self._torn.discard((page_id, slot))
+
+    def write_records(
+        self, records: Sequence[Tuple[int, int, int, Any]]
+    ) -> None:
+        """Persist ``(page_id, slot, key, value)`` records with one batched
+        ``NVM_WRITE`` charge covering every record's blocks (the total is
+        identical to per-record :meth:`write_record` calls)."""
+        if not records:
+            return
+        for page_id, slot, key, value in records:
+            page = self._page(page_id)
+            if not 0 <= slot < self.slots_per_page:
+                raise DeviceError(f"bad slot {slot}")
+            if page.slots[slot] is None:
+                page.used += 1
+            page.slots[slot] = (key, value)
+            self._torn.discard((page_id, slot))
+        self.perf.charge(
+            Event.NVM_WRITE, self._blocks_per_record * len(records)
+        )
 
     def write_record_torn(
         self, page_id: int, slot: int, key: int, value: Any

@@ -58,38 +58,150 @@ class ViperStore:
         self._next_slot += 1
         return slot
 
+    def _allocate_slots(self, n: int) -> List[Tuple[int, int]]:
+        """``n`` slot addresses — freed slots first, then the open page,
+        then bulk page allocation with one batched ``ALLOC`` charge.  The
+        addresses (and event totals) match ``n`` sequential
+        :meth:`_allocate_slot` calls."""
+        out: List[Tuple[int, int]] = []
+        while self._free_slots and len(out) < n:
+            out.append(self._free_slots.pop())
+        need = n - len(out)
+        if need <= 0:
+            return out
+        spp = self.device.slots_per_page
+        take = min(spp - self._next_slot, need)
+        if take > 0:
+            out.extend(
+                (self._open_page, self._next_slot + i) for i in range(take)
+            )
+            self._next_slot += take
+            need -= take
+        if need > 0:
+            fresh = self.device.allocate_slots(need)
+            out.extend(fresh)
+            self._open_page, last_slot = fresh[-1]
+            self._next_slot = last_slot + 1
+        return out
+
     # -- operations -----------------------------------------------------------
 
     def bulk_load(self, items: List[Tuple[int, Any]]) -> None:
-        """Load sorted unique items: persist records, then build the index."""
+        """Load sorted unique items: persist records, then build the index.
+
+        Records are placed with one bulk slot allocation and persisted
+        with one batched NVM write — the charge totals are identical to
+        the per-record path, issued in two calls instead of ``2n``.
+        """
         self._check_alive()
-        locations = []
-        for key, value in items:
-            page, slot = self._allocate_slot()
-            self.device.write_record(page, slot, key, value)
-            locations.append((key, (page, slot)))
-        self.index.bulk_load(locations)
+        locations = self._allocate_slots(len(items))
+        self.device.write_records(
+            [
+                (page, slot, key, value)
+                for (page, slot), (key, value) in zip(locations, items)
+            ]
+        )
+        self.index.bulk_load(
+            [(key, loc) for (key, _), loc in zip(items, locations)]
+        )
         self._n = len(items)
 
     def put(self, key: int, value: Any) -> None:
-        """Insert or update."""
+        """Insert or update: persist the record, then one index upsert.
+
+        ``Index.upsert`` resolves the previous record location and
+        repoints the index in a single descent (indexes without a native
+        single-descent path fall back to probe-then-write internally), so
+        a put costs one lookup and one write — not the get *plus* insert
+        double traversal it used to."""
         self._check_alive()
-        existing = self.index.get(key)
         page, slot = self._allocate_slot()
         self.device.write_record(page, slot, key, value)
-        if existing is not None:
-            # Update: repoint the index, free the stale record.  Indexes
-            # whose insert is an in-place upsert take the cheap path; the
-            # LSM-style PGM overwrites the payload instead of stacking a
-            # shadowing duplicate.
-            if self.index.insert_is_upsert:
-                self.index.insert(key, (page, slot))
-            else:
-                self.index.update(key, (page, slot))
-            self.device.free_record(*existing)
+        old = self.index.upsert(key, (page, slot))
+        if old is not None:
+            self.device.free_record(*old)
         else:
-            self.index.insert(key, (page, slot))
             self._n += 1
+
+    def put_many(self, items: List[Tuple[int, Any]]) -> None:
+        """Batch put, observably equivalent to ``put`` of each item in order.
+
+        The records land via one bulk slot allocation plus one batched
+        NVM write.  Indexes with a native ``upsert_many`` resolve each
+        old record location in the same descent that repoints the index
+        — one traversal per key, like scalar ``put``.  Otherwise one
+        ``index.get_many`` probe resolves every pre-existing location and
+        the index side is one ``insert_many`` (or, for non-upsert
+        indexes, per-occurrence in-place updates).  In-batch duplicates
+        chain correctly either way: the second occurrence frees the first
+        occurrence's record, and the last value wins.
+        """
+        self._check_alive()
+        if not items:
+            return
+        if type(self.index).upsert_many is not Index.upsert_many:
+            locations = self._allocate_slots(len(items))
+            self.device.write_records(
+                [
+                    (page, slot, key, value)
+                    for (page, slot), (key, value) in zip(locations, items)
+                ]
+            )
+            olds = self.index.upsert_many(
+                [(key, loc) for (key, _), loc in zip(items, locations)]
+            )
+            for old in olds:
+                if old is not None:
+                    self.device.free_record(*old)
+                else:
+                    self._n += 1
+            return
+        existing = self.index.get_many([key for key, _ in items])
+        locations = self._allocate_slots(len(items))
+        self.device.write_records(
+            [
+                (page, slot, key, value)
+                for (page, slot), (key, value) in zip(locations, items)
+            ]
+        )
+        if self.index.insert_is_upsert:
+            self.index.insert_many(
+                [(key, loc) for (key, _), loc in zip(items, locations)]
+            )
+            # Resolve frees and live-count against pre-batch state,
+            # tracking in-batch duplicates so each write frees its
+            # predecessor.
+            last_loc: dict = {}
+            for (key, _), loc, old in zip(items, locations, existing):
+                prev = last_loc.get(key, old)
+                if prev is not None:
+                    self.device.free_record(*prev)
+                else:
+                    self._n += 1
+                last_loc[key] = loc
+            return
+        # Non-upsert index (the LSM-style PGM): pre-existing keys take an
+        # in-place ``update`` per occurrence (exactly what scalar ``put``
+        # does, so level contents stay identical), while fresh keys —
+        # where insert and upsert coincide — still go through one
+        # ``insert_many`` (which resolves in-batch duplicates last-wins
+        # itself).  The two key sets are disjoint, so ordering between
+        # them is immaterial.
+        fresh_batch: List[Tuple[int, Tuple[int, int]]] = []
+        last_loc = {}
+        for (key, _), loc, old in zip(items, locations, existing):
+            prev = last_loc.get(key, old)
+            if old is not None:
+                self.index.update(key, loc)
+            else:
+                fresh_batch.append((key, loc))
+            if prev is not None:
+                self.device.free_record(*prev)
+            else:
+                self._n += 1
+            last_loc[key] = loc
+        if fresh_batch:
+            self.index.insert_many(fresh_batch)
 
     def get(self, key: int) -> Optional[Any]:
         self._check_alive()

@@ -94,10 +94,10 @@ class TestBatchContract:
 def test_has_native_batch_classifies_fast_paths(loaded_indexes):
     _, built = loaded_indexes
     flagged = {name for name, idx in built.items() if has_native_batch(idx)}
-    # The vectorized implementations must be recognised as native...
-    assert {"PGM", "RS"} <= flagged
+    # The batch fast paths must be recognised as native...
+    assert {"PGM", "RS", "BTree"} <= flagged
     # ...and a pure fallback index must not be.
-    assert "BTree" not in flagged
+    assert "Skiplist" not in flagged
 
 
 def _keysets():

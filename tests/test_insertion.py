@@ -216,7 +216,7 @@ class TestGappedLeafInternals:
         leaf = make_gapped(sorted(rng.sample(range(10**6), 200)), density=0.5)
         for k in rng.sample(range(10**6), 50):
             leaf.insert(k, k)
-        occupied = [k for k in leaf._slot_keys if k is not None]
+        occupied = [k for k in leaf.slot_layout() if k is not None]
         assert occupied == sorted(occupied)
 
     def test_gap_insert_is_often_free(self):
