@@ -15,6 +15,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.interfaces import Index, SortedIndex
 from repro.errors import UnsupportedOperationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import ProgressReporter
 from repro.perf.bandwidth import BandwidthModel
 from repro.perf.breakdown import Profiler
 from repro.perf.context import PerfContext
@@ -169,6 +171,8 @@ def execute_ops(
     perf: PerfContext,
     profiler: Optional[Profiler] = None,
     batch_size: int = 1,
+    metrics: Optional[MetricsRegistry] = None,
+    progress: Optional[ProgressReporter] = None,
 ) -> ExecutionResult:
     """Execute ``ops`` against ``target``, measuring each on ``perf``.
 
@@ -183,7 +187,14 @@ def execute_ops(
     scalar) flushes the pending batch so the workload's interleaving
     semantics are preserved.  Each batched op is recorded at the batch's
     amortised per-op latency, so recorder lengths and bytes/op stay
-    comparable to ``batch_size=1``.
+    comparable to ``batch_size=1``.  Batched measurements reach the
+    profiler with ``ops=len(batch)`` so its per-op attribution splits
+    the coarse charge across the run.
+
+    ``metrics`` merges the run's per-kind counts, bytes, and latency
+    histograms into a :class:`~repro.obs.metrics.MetricsRegistry` after
+    the loop (zero per-op overhead); ``progress`` emits throttled live
+    progress/throughput lines while the loop runs.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -211,7 +222,7 @@ def execute_ops(
             recorder.record(per_op_ns)
             kind_rec.record(per_op_ns)
         if profiler is not None:
-            profiler.record_measured(batch_kind.value, measured)
+            profiler.record_measured(batch_kind.value, measured, ops=len(batch))
         batch.clear()
         batch_kind = None
         return measured.bytes
@@ -226,6 +237,8 @@ def execute_ops(
             batch_kind = op.kind
             if len(batch) >= batch_size:
                 total_bytes += flush_batch()
+                if progress is not None:
+                    progress.maybe(len(recorder), perf)
             continue
         if batch:
             total_bytes += flush_batch()
@@ -241,8 +254,21 @@ def execute_ops(
         total_bytes += measured.bytes
         if profiler is not None:
             profiler.record_measured(op.kind.value, measured)
+        if progress is not None:
+            progress.maybe(len(recorder), perf)
     if batch:
         total_bytes += flush_batch()
+    if progress is not None:
+        progress.finish(len(recorder), perf)
+    if metrics is not None:
+        metrics.counter("repro_bytes_total", target=target.name).inc(total_bytes)
+        for kind, kind_rec in by_kind.items():
+            metrics.counter(
+                "repro_ops_total", target=target.name, kind=kind.value
+            ).inc(len(kind_rec))
+            metrics.histogram(
+                "repro_op_latency_ns", target=target.name, kind=kind.value
+            ).merge(kind_rec.histogram)
     bytes_per_op = total_bytes / max(1, len(recorder))
     return ExecutionResult(recorder, bytes_per_op, by_kind)
 
@@ -253,9 +279,13 @@ def run_index_ops(
     perf: PerfContext,
     profiler: Optional[Profiler] = None,
     batch_size: int = 1,
+    metrics: Optional[MetricsRegistry] = None,
+    progress: Optional[ProgressReporter] = None,
 ) -> ExecutionResult:
     """Execute ``ops`` against a bare index; unpacks as (latencies, bytes/op)."""
-    return execute_ops(IndexAdapter(index), ops, perf, profiler, batch_size)
+    return execute_ops(
+        IndexAdapter(index), ops, perf, profiler, batch_size, metrics, progress
+    )
 
 
 def run_store_ops(
@@ -264,9 +294,13 @@ def run_store_ops(
     perf: PerfContext,
     profiler: Optional[Profiler] = None,
     batch_size: int = 1,
+    metrics: Optional[MetricsRegistry] = None,
+    progress: Optional[ProgressReporter] = None,
 ) -> ExecutionResult:
     """Execute ``ops`` end-to-end through the Viper store."""
-    return execute_ops(StoreAdapter(store), ops, perf, profiler, batch_size)
+    return execute_ops(
+        StoreAdapter(store), ops, perf, profiler, batch_size, metrics, progress
+    )
 
 
 def measure_build(

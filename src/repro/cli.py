@@ -20,6 +20,16 @@ import sys
 
 from repro import PerfContext, ViperStore, registry
 from repro.bench import format_table, run_store_ops
+from repro.obs import (
+    EventType,
+    JsonlTraceSink,
+    MetricsRegistry,
+    ProgressReporter,
+    Tracer,
+    prometheus_text,
+    trace_summary,
+)
+from repro.perf import Profiler
 from repro.registry import UnknownIndexError
 from repro.workloads import generate_operations
 from repro.workloads.datasets import DATASETS
@@ -106,8 +116,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
     mark = perf.begin()
     store.bulk_load([(k, k) for k in load])
     build_ns = perf.end(mark).time_ns
+    progress = (
+        ProgressReporter(total=len(ops), every=max(1, len(ops) // 20))
+        if args.progress
+        else None
+    )
     recorder, bytes_per_op = run_store_ops(
-        store, ops, perf, batch_size=args.batch_size
+        store, ops, perf, batch_size=args.batch_size, progress=progress
     )
 
     print(
@@ -129,6 +144,148 @@ def cmd_bench(args: argparse.Namespace) -> int:
             title="Benchmark result (simulated hardware)",
         )
     )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Run one combination with full observability and print the report."""
+    try:
+        spec = registry.resolve(args.index)
+    except UnknownIndexError:
+        print(f"unknown index {args.index!r}; see `info`", file=sys.stderr)
+        return 2
+    if args.workload not in WORKLOADS:
+        print(
+            f"unknown workload {args.workload!r}; "
+            f"one of {sorted(WORKLOADS)}",
+            file=sys.stderr,
+        )
+        return 2
+    workload = WORKLOADS[args.workload]
+    keys = DATASETS[args.dataset](args.keys, seed=args.seed)
+    if workload.insert > 0:
+        load, insert_pool = split_load_and_inserts(keys, 0.5, seed=args.seed)
+    else:
+        load, insert_pool = list(keys), None
+    ops = generate_operations(
+        workload, args.ops, load, insert_pool, seed=args.seed
+    )
+
+    perf = PerfContext()
+    tracer = Tracer(rate=args.sample, seed=args.seed)
+    perf.tracer = tracer
+    sink = None
+    if args.trace_out:
+        sink = JsonlTraceSink(open(args.trace_out, "w"))
+        tracer.add_sink(sink)
+    metrics = MetricsRegistry()
+    profiler = Profiler(perf)
+    progress = (
+        ProgressReporter(total=len(ops), every=max(1, len(ops) // 20))
+        if args.progress
+        else None
+    )
+
+    store = ViperStore(spec.build(perf), perf)
+    mark = perf.begin()
+    store.bulk_load([(k, k) for k in load])
+    build_ns = perf.end(mark).time_ns
+    result = run_store_ops(
+        store,
+        ops,
+        perf,
+        profiler=profiler,
+        batch_size=args.batch_size,
+        metrics=metrics,
+        progress=progress,
+    )
+    if sink is not None:
+        sink.close()
+    recorder = result.recorder
+
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["index", spec.name],
+                ["workload", workload.name],
+                ["dataset", f"{args.dataset} ({len(load):,} loaded keys)"],
+                ["operations", f"{len(recorder):,}"],
+                ["trace sampling", f"{args.sample:g}"],
+                ["build (sim ms)", f"{build_ns / 1e6:.2f}"],
+                ["throughput (sim Mops/s)", f"{recorder.throughput_mops():.3f}"],
+            ],
+            title="Run (simulated hardware)",
+        )
+    )
+
+    kind_rows = [
+        [
+            kind.value,
+            f"{len(rec):,}",
+            f"{rec.mean():.0f}",
+            f"{rec.p50():.0f}",
+            f"{rec.p99():.0f}",
+            f"{rec.p999():.0f}",
+        ]
+        for kind, rec in sorted(
+            result.by_kind.items(), key=lambda kv: -len(kv[1])
+        )
+    ]
+    print()
+    print(
+        format_table(
+            ["op kind", "ops", "mean ns", "p50 ns", "p99 ns", "p99.9 ns"],
+            kind_rows,
+            title="Latency by operation kind (histogram backend)",
+        )
+    )
+
+    summary = trace_summary(tracer.records)
+    event_rows = [
+        [
+            etype,
+            f"{tracer.count(etype):,}",
+            f"{summary.get(etype, {}).get('events', 0):,}",
+            f"{summary.get(etype, {}).get('keys', 0):,}",
+            f"{summary.get(etype, {}).get('cost_ns', 0.0) / 1e3:.1f}",
+        ]
+        for etype in EventType.ALL
+        if tracer.count(etype)
+    ]
+    print()
+    print(
+        format_table(
+            ["event", "emitted", "sampled", "keys", "cost (sim us)"],
+            event_rows or [["(no lifecycle events)", "-", "-", "-", "-"]],
+            title="Lifecycle events",
+        )
+    )
+
+    stats = store.index.stats()
+    print()
+    print(
+        format_table(
+            ["stat", "value"],
+            [
+                ["leaf count", f"{stats.leaf_count:,}"],
+                ["depth avg/max", f"{stats.depth_avg:.2f} / {stats.depth_max}"],
+                ["retrains", f"{stats.retrain_count:,}"],
+                ["retrained keys", f"{stats.retrain_keys:,}"],
+                *[[k, f"{v:,}"] for k, v in sorted(stats.extra.items())],
+            ],
+            title=f"Index structure ({spec.name})",
+        )
+    )
+    print()
+    print(profiler.explain())
+
+    if args.prom_out:
+        with open(args.prom_out, "w") as fp:
+            fp.write(prometheus_text(metrics, tracer))
+        print(f"\nwrote Prometheus exposition to {args.prom_out}")
+    if args.trace_out:
+        print(f"wrote JSONL trace to {args.trace_out}")
     return 0
 
 
@@ -194,6 +351,47 @@ def build_parser() -> argparse.ArgumentParser:
         "consecutive writes into put_many batches of this size "
         "(1 = per-key dispatch)",
     )
+    bench.add_argument(
+        "--progress",
+        action="store_true",
+        help="print live progress/throughput lines to stderr",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="run one combination with tracing/metrics and print a report",
+    )
+    report.add_argument("--index", default="alex", help="index name (see info)")
+    report.add_argument(
+        "--workload", default="ycsb-d", help=f"one of {sorted(WORKLOADS)}"
+    )
+    report.add_argument(
+        "--dataset", default="ycsb", choices=sorted(DATASETS), help="key set"
+    )
+    report.add_argument("--keys", type=int, default=50_000)
+    report.add_argument("--ops", type=int, default=20_000)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--batch-size", type=int, default=1)
+    report.add_argument(
+        "--sample",
+        type=float,
+        default=1.0,
+        help="lifecycle-trace sampling rate in [0, 1] "
+        "(event counts stay exact at any rate)",
+    )
+    report.add_argument(
+        "--trace-out", default="", help="write the sampled trace as JSONL"
+    )
+    report.add_argument(
+        "--prom-out",
+        default="",
+        help="write Prometheus-style text exposition of the run's metrics",
+    )
+    report.add_argument(
+        "--progress",
+        action="store_true",
+        help="print live progress/throughput lines to stderr",
+    )
 
     ds = sub.add_parser("datasets", help="inspect a synthetic dataset")
     ds.add_argument("--name", default="ycsb")
@@ -209,6 +407,7 @@ def main(argv=None) -> int:
     handlers = {
         "info": cmd_info,
         "bench": cmd_bench,
+        "report": cmd_report,
         "datasets": cmd_datasets,
     }
     return handlers[args.command](args)

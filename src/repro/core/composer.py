@@ -38,6 +38,7 @@ from repro.core.interfaces import (
 from repro.core.retraining.base import RetrainPolicy
 from repro.core.structures.base import InternalStructure
 from repro.errors import ReproError
+from repro.obs.trace import EventType
 from repro.perf.context import PerfContext
 from repro.perf.events import Event
 
@@ -72,6 +73,8 @@ class ComposedIndex(UpdatableIndex):
             f"+{insertion.name}+{retraining.name}"
         )
         self._n = 0
+        self._split_count = 0
+        self._merge_count = 0
 
     # -- construction ---------------------------------------------------
 
@@ -96,6 +99,15 @@ class ComposedIndex(UpdatableIndex):
             for seg in approx.segments
         ]
         self._n = len(items)
+        self.perf.trace(
+            EventType.NODE_ALLOC,
+            index=self.name,
+            reason="bulk_load",
+            keys=len(items),
+            count=approx.leaf_count,
+            key_lo=keys[0],
+            key_hi=keys[-1],
+        )
         self._rebuild_structure()
 
     def _rebuild_structure(self) -> None:
@@ -280,19 +292,70 @@ class ComposedIndex(UpdatableIndex):
         self._n -= 1
         if self.leaves[idx].n == 0:
             # Drop the emptied leaf; the structure must forget its fence.
+            first_key = self.leaves[idx].first_key
             del self.leaves[idx]
+            self._merge_count += 1
+            self.perf.trace(
+                EventType.LEAF_MERGE,
+                index=self.name,
+                leaf=idx,
+                key_lo=first_key,
+                reason="leaf_emptied",
+            )
             if self.leaves:
                 self._rebuild_structure()
         return True
 
     def _retrain(self, idx: int) -> None:
-        old_n = self.leaves[idx].n
+        leaf = self.leaves[idx]
+        old_n = leaf.n
+        key_lo = leaf.first_key
+        buffered = getattr(leaf, "buffer_fill", None)
+        flushed = buffered() if callable(buffered) else 0
         mark = self.perf.begin()
         new_leaves = self.retraining.retrain_leaf(self, idx)
         self.leaves[idx : idx + 1] = new_leaves
         self._rebuild_structure()
         op = self.perf.end(mark)
         self.retraining.stats.record(old_n, op.time_ns)
+        # The first key of the leaf after the retrained range is an
+        # exclusive upper bound on the keys the retrain covered.
+        nxt = idx + len(new_leaves)
+        key_hi = self.leaves[nxt].first_key if nxt < len(self.leaves) else None
+        if flushed:
+            self.perf.trace(
+                EventType.BUFFER_FLUSH,
+                index=self.name,
+                leaf=idx,
+                key_lo=key_lo,
+                key_hi=key_hi,
+                keys=flushed,
+                reason="merge_on_retrain",
+            )
+        if len(new_leaves) > 1:
+            self._split_count += 1
+            self.perf.trace(
+                EventType.LEAF_SPLIT,
+                index=self.name,
+                leaf=idx,
+                key_lo=key_lo,
+                key_hi=key_hi,
+                keys=old_n,
+                count=len(new_leaves),
+                reason="model_refit_split",
+                cost_ns=op.time_ns,
+            )
+        self.perf.trace(
+            EventType.RETRAIN,
+            index=self.name,
+            leaf=idx,
+            key_lo=key_lo,
+            key_hi=key_hi,
+            keys=old_n,
+            count=len(new_leaves),
+            reason="leaf_full",
+            cost_ns=op.time_ns,
+        )
 
     # -- metadata -----------------------------------------------------------
 
@@ -317,6 +380,10 @@ class ComposedIndex(UpdatableIndex):
             retrain_count=rs.count,
             retrain_keys=rs.keys_retrained,
             retrain_time_ns=rs.time_ns,
+            extra={
+                "leaf_splits": self._split_count,
+                "leaf_merges": self._merge_count,
+            },
         )
 
     @classmethod

@@ -9,6 +9,7 @@ from repro.core.insertion.gapped import GappedLeaf
 from repro.core.approximation.lsa_gap import GappedSegment
 from repro.core.retraining.base import RetrainPolicy
 from repro.errors import InvalidConfigurationError
+from repro.obs.trace import EventType
 from repro.perf.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -42,6 +43,20 @@ class SplitRetrainPolicy(RetrainPolicy):
         perf.charge(Event.RETRAIN_KEY, len(keys))
 
         approx = index.approximator.fit(keys)
+        if approx.leaf_count > 1:
+            # The merged data no longer fits one segment within the
+            # approximator's tolerance: the refit model is rejected and
+            # the leaf splits along the new segment boundaries.
+            perf.trace(
+                EventType.FIT_REJECT,
+                index=index.name,
+                leaf=leaf_pos,
+                key_lo=keys[0],
+                key_hi=keys[-1],
+                keys=len(keys),
+                count=approx.leaf_count,
+                reason="eps_overflow",
+            )
         new_leaves: List[Leaf] = []
         for segment in approx.segments:
             seg_keys = keys[segment.start : segment.start + segment.n]
@@ -119,11 +134,24 @@ class ExpandOrSplitPolicy(RetrainPolicy):
             and len(keys) >= 64
         )
         return self._expand_or_split(
-            keys, values, perf, depth=0, force_split=pressure_split
+            keys,
+            values,
+            perf,
+            depth=0,
+            force_split=pressure_split,
+            index_name=index.name,
+            leaf_pos=leaf_pos,
         )
 
     def _expand_or_split(
-        self, keys, values, perf, depth: int, force_split: bool = False
+        self,
+        keys,
+        values,
+        perf,
+        depth: int,
+        force_split: bool = False,
+        index_name: str = "",
+        leaf_pos: int = -1,
     ) -> List[Leaf]:
         """Expand if the refit model describes the data; otherwise split
         recursively until each piece's model does (ALEX converges the same
@@ -137,7 +165,20 @@ class ExpandOrSplitPolicy(RetrainPolicy):
         if fits or len(keys) < 4 or depth >= 12:
             perf.charge(Event.ALLOC)
             return [GappedLeaf(trial, list(values), perf)]
+        perf.trace(
+            EventType.FIT_REJECT,
+            index=index_name,
+            leaf=leaf_pos,
+            key_lo=keys[0],
+            key_hi=keys[-1],
+            keys=len(keys),
+            reason="pressure" if force_split else "error_above_threshold",
+        )
         mid = len(keys) // 2
         return self._expand_or_split(
-            keys[:mid], values[:mid], perf, depth + 1
-        ) + self._expand_or_split(keys[mid:], values[mid:], perf, depth + 1)
+            keys[:mid], values[:mid], perf, depth + 1,
+            index_name=index_name, leaf_pos=leaf_pos,
+        ) + self._expand_or_split(
+            keys[mid:], values[mid:], perf, depth + 1,
+            index_name=index_name, leaf_pos=leaf_pos,
+        )

@@ -39,6 +39,7 @@ from repro.core.interfaces import (
 from repro.core.retraining.base import RetrainStats
 from repro.errors import InvalidConfigurationError
 from repro.perf.context import PerfContext
+from repro.obs.trace import EventType
 from repro.perf.events import Event
 
 #: Slots per probe window == one 256-byte Optane block of 16-byte pairs.
@@ -246,6 +247,29 @@ class APEXIndex(UpdatableIndex):
         self._fences[idx : idx + 1] = [r.first_key for r in replacements]
         measured = self.perf.end(mark)
         self.retrain_stats.record(len(keys), measured.time_ns)
+        if len(replacements) > 1:
+            self.perf.trace(
+                EventType.LEAF_SPLIT,
+                index=self.name,
+                leaf=idx,
+                key_lo=keys[0],
+                key_hi=keys[-1],
+                keys=len(keys),
+                count=len(replacements),
+                reason="stash_overflow",
+                cost_ns=measured.time_ns,
+            )
+        self.perf.trace(
+            EventType.RETRAIN,
+            index=self.name,
+            leaf=idx,
+            key_lo=keys[0],
+            key_hi=keys[-1],
+            keys=len(keys),
+            count=len(replacements),
+            reason="smo",
+            cost_ns=measured.time_ns,
+        )
 
     def delete(self, key: Key) -> bool:
         if not self._nodes:

@@ -38,6 +38,7 @@ from repro.core.interfaces import (
 from repro.core.retraining.base import RetrainStats
 from repro.errors import InvalidConfigurationError
 from repro.perf.context import PerfContext
+from repro.obs.trace import EventType
 from repro.perf.events import Event
 
 _SLOT_BYTES = 24  # tag + key + value/child pointer
@@ -229,6 +230,15 @@ class LIPPIndex(UpdatableIndex):
                     break
         op = self.perf.end(mark)
         self.retrain_stats.record(len(items), op.time_ns)
+        self.perf.trace(
+            EventType.RETRAIN,
+            index=self.name,
+            key_lo=items[0][0] if items else None,
+            key_hi=items[-1][0] if items else None,
+            keys=len(items),
+            reason="subtree_insert_pressure",
+            cost_ns=op.time_ns,
+        )
 
     def delete(self, key: Key) -> bool:
         node = self._root

@@ -33,6 +33,7 @@ from repro.core.interfaces import (
 from repro.core.retraining.base import RetrainStats
 from repro.core.structures.lrs_structure import LRSStructure
 from repro.errors import InvalidConfigurationError
+from repro.obs.trace import EventType
 from repro.perf.context import PerfContext
 from repro.perf.events import Event
 
@@ -266,6 +267,7 @@ class DynamicPGMIndex(UpdatableIndex):
         """Merge the buffer and every full prefix level into the first slot
         that can hold the result (the logarithmic method)."""
         mark = self.perf.begin()
+        flushed = len(self._buffer)
         merged: List[Tuple[Key, Any]] = list(self._buffer)
         self._buffer = []
         target = 0
@@ -283,6 +285,24 @@ class DynamicPGMIndex(UpdatableIndex):
         self._levels[target] = self._build_level(merged)
         op = self.perf.end(mark)
         self.retrain_stats.record(len(merged), op.time_ns)
+        self.perf.trace(
+            EventType.BUFFER_FLUSH,
+            index=self.name,
+            leaf=0,
+            keys=flushed,
+            reason="staging_buffer_full",
+        )
+        self.perf.trace(
+            EventType.RETRAIN,
+            index=self.name,
+            leaf=target,
+            key_lo=merged[0][0] if merged else None,
+            key_hi=merged[-1][0] if merged else None,
+            keys=len(merged),
+            count=target + 1,
+            reason="lsm_carry",
+            cost_ns=op.time_ns,
+        )
 
     @staticmethod
     def _merge(

@@ -1,0 +1,43 @@
+"""Structural observability: lifecycle tracing, metrics, exporters.
+
+The simulated-hardware substrate (:mod:`repro.perf`) answers "how much
+did it cost"; this package answers "what happened and when":
+
+* :mod:`repro.obs.trace` — typed lifecycle events (retrains, splits,
+  flushes, allocations, GC) on the simulated clock, collected by a
+  sampling-aware :class:`Tracer` attached to a ``PerfContext``.
+* :mod:`repro.obs.metrics` — counters, gauges, and log-bucketed
+  histograms with Prometheus-style label sets.
+* :mod:`repro.obs.export` — JSONL trace files and Prometheus text.
+* :mod:`repro.obs.progress` — live progress lines for long runs.
+* :mod:`repro.obs.regress` — the ``BENCH_*.json`` cross-PR diff tool
+  (``python -m repro.obs.regress``).
+
+See ``docs/observability.md`` for the event taxonomy and usage.
+"""
+
+from repro.obs.trace import EventType, TraceEvent, Tracer
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry
+from repro.obs.export import (
+    JsonlTraceSink,
+    prometheus_text,
+    read_trace_jsonl,
+    trace_summary,
+    write_trace_jsonl,
+)
+from repro.obs.progress import ProgressReporter
+
+__all__ = [
+    "EventType",
+    "TraceEvent",
+    "Tracer",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "JsonlTraceSink",
+    "prometheus_text",
+    "read_trace_jsonl",
+    "trace_summary",
+    "write_trace_jsonl",
+    "ProgressReporter",
+]

@@ -1,0 +1,149 @@
+"""Exporters: JSONL trace files and Prometheus-style text exposition.
+
+Formats:
+
+* **JSONL trace** — one :class:`~repro.obs.trace.TraceEvent` per line as
+  a JSON object; round-trips exactly through
+  :func:`write_trace_jsonl` / :func:`read_trace_jsonl`.
+* **Prometheus text** — counters/gauges verbatim, histograms rendered as
+  summaries (``quantile`` labels plus ``_sum``/``_count``), tracer
+  lifecycle counts as ``repro_trace_events_total{event=...}``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, IO, Iterable, List, Optional
+
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry
+from repro.obs.trace import TraceEvent, Tracer
+from repro.perf.histogram import LogHistogram
+
+# ------------------------------------------------------------- JSONL trace
+
+
+class JsonlTraceSink:
+    """A tracer sink that streams each sampled event to a JSONL file.
+
+    >>> sink = JsonlTraceSink(open("trace.jsonl", "w"))
+    >>> tracer.add_sink(sink)
+    ...
+    >>> sink.close()
+    """
+
+    def __init__(self, fp: IO[str]):
+        self._fp = fp
+
+    def __call__(self, event: TraceEvent) -> None:
+        self._fp.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        self._fp.close()
+
+
+def write_trace_jsonl(events: Iterable[TraceEvent], path: str) -> int:
+    """Write ``events`` to ``path`` as JSONL; returns the event count."""
+    n = 0
+    with open(path, "w") as fp:
+        sink = JsonlTraceSink(fp)
+        for event in events:
+            sink(event)
+            n += 1
+    return n
+
+
+def read_trace_jsonl(path: str) -> List[TraceEvent]:
+    """Parse a JSONL trace file back into :class:`TraceEvent` records."""
+    events: List[TraceEvent] = []
+    with open(path) as fp:
+        for line in fp:
+            line = line.strip()
+            if line:
+                events.append(TraceEvent.from_dict(json.loads(line)))
+    return events
+
+
+def trace_summary(events: Iterable[TraceEvent]) -> Dict[str, dict]:
+    """Aggregate a trace per event type: count, keys, cost, indexes.
+
+    Computed from the *records* (not the tracer's exact counters), so a
+    summary of events written to JSONL and a summary of the parsed file
+    are identical — the round-trip contract the tests pin.
+    """
+    out: Dict[str, dict] = {}
+    for event in events:
+        agg = out.get(event.etype)
+        if agg is None:
+            agg = out[event.etype] = {
+                "events": 0,
+                "keys": 0,
+                "count": 0,
+                "cost_ns": 0.0,
+                "by_index": {},
+            }
+        agg["events"] += 1
+        agg["keys"] += event.keys
+        agg["count"] += event.count
+        agg["cost_ns"] += event.cost_ns
+        by_index = agg["by_index"]
+        by_index[event.index] = by_index.get(event.index, 0) + 1
+    return out
+
+
+# ------------------------------------------------- Prometheus exposition
+
+#: Quantiles a histogram family exposes in the text format.
+SUMMARY_QUANTILES = (0.5, 0.99, 0.999)
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _labels_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape(v)}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+) -> str:
+    """Render metrics (and tracer lifecycle counts) as Prometheus text."""
+    lines: List[str] = []
+    seen_types = set()
+    if registry is not None:
+        for name, kind, labels, instrument in registry.collect():
+            if name not in seen_types:
+                seen_types.add(name)
+                prom_kind = "summary" if kind == "histogram" else kind
+                lines.append(f"# TYPE {name} {prom_kind}")
+            if isinstance(instrument, (Counter, Gauge)):
+                lines.append(f"{name}{_labels_text(labels)} {_fmt(instrument.value)}")
+            elif isinstance(instrument, LogHistogram):
+                for q in SUMMARY_QUANTILES:
+                    labelled = dict(labels, quantile=str(q))
+                    value = instrument.quantile(q) if len(instrument) else "NaN"
+                    lines.append(f"{name}{_labels_text(labelled)} {_fmt(value)}")
+                lines.append(
+                    f"{name}_sum{_labels_text(labels)} {_fmt(instrument.total)}"
+                )
+                lines.append(
+                    f"{name}_count{_labels_text(labels)} {instrument.count}"
+                )
+    if tracer is not None:
+        name = "repro_trace_events_total"
+        lines.append(f"# TYPE {name} counter")
+        for etype in sorted(tracer.counts):
+            lines.append(
+                f'{name}{{event="{etype}"}} {tracer.counts[etype]}'
+            )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,72 @@
+"""Live progress/throughput reporting for long benchmark runs.
+
+``execute_ops`` over a six-figure op stream is silent for minutes; the
+reporter prints periodic ``done/total`` lines with simulated throughput
+and wall-clock rate so a run's health is visible while it happens.
+
+On a TTY the line rewrites in place (carriage return); piped to a file
+or CI log each update is its own line.  Output goes to ``stderr`` so it
+never pollutes a redirected report.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import IO, Optional
+
+from repro.perf.context import PerfContext
+
+
+class ProgressReporter:
+    """Throttled progress lines: one every ``every`` completed ops."""
+
+    def __init__(
+        self,
+        total: Optional[int] = None,
+        every: int = 10_000,
+        stream: Optional[IO[str]] = None,
+        label: str = "ops",
+    ):
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.total = total
+        self.every = every
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self._inplace = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._last_reported = 0
+        self._t0: Optional[float] = None
+        self._lines = 0
+
+    def _line(self, done: int, perf: PerfContext) -> str:
+        parts = [f"{self.label}: {done:,}"]
+        if self.total:
+            parts[0] += f"/{self.total:,} ({done / self.total:.0%})"
+        sim_ns = perf.elapsed_ns()
+        if sim_ns > 0:
+            parts.append(f"sim {done / sim_ns * 1e3:.3f} Mops/s")
+        if self._t0 is not None:
+            wall = time.monotonic() - self._t0
+            if wall > 0:
+                parts.append(f"wall {done / wall:,.0f} op/s")
+        return "  ".join(parts)
+
+    def maybe(self, done: int, perf: PerfContext) -> None:
+        """Report if at least ``every`` ops completed since the last line."""
+        if self._t0 is None:
+            self._t0 = time.monotonic()
+        if done - self._last_reported < self.every:
+            return
+        self._last_reported = done
+        self._lines += 1
+        end = "\r" if self._inplace else "\n"
+        self.stream.write(self._line(done, perf) + end)
+        self.stream.flush()
+
+    def finish(self, done: int, perf: PerfContext) -> None:
+        """Write the final line (always, regardless of throttling)."""
+        if self._t0 is None:
+            self._t0 = time.monotonic()
+        self.stream.write(self._line(done, perf) + " done\n")
+        self.stream.flush()

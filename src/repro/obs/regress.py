@@ -1,0 +1,186 @@
+"""Bench-regression tool: diff committed ``BENCH_*.json`` across PRs.
+
+Usage::
+
+    python -m repro.obs.regress BENCH_PR2.json BENCH_PR3.json [...]
+    python -m repro.obs.regress --threshold 0.05 OLD.json NEW.json
+
+Each adjacent pair of reports (``benchmarks/bench_micro.py --out``
+format) is compared index-by-index over the wall-clock metrics both
+reports share.  All tracked metrics are higher-is-better (``*_ops_s``,
+``*_keys_s``, ``*_speedup``); a metric that dropped by more than the
+noise threshold is a regression, and any regression makes the process
+exit non-zero — the contract the CI ``bench-regress`` step relies on.
+
+Reports measured at different scales (e.g. a ``--quick`` CI run against
+a committed full-scale baseline) are not comparable on absolute ops/s,
+so the tool automatically restricts those pairs to the dimensionless
+``*_speedup`` ratios and applies the looser ``--ratio-threshold``
+(batch-vs-scalar ratios shift with scale and machine; only a collapse is
+meaningful).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: Default noise threshold: a shared-scale metric may drop 10% before it
+#: counts as a regression (run-to-run wall-clock noise on shared CI
+#: runners routinely reaches several percent).
+DEFAULT_THRESHOLD = 0.10
+#: Threshold for dimensionless speedup ratios when scales differ.
+DEFAULT_RATIO_THRESHOLD = 0.50
+
+#: Metric-name suffixes the tool tracks; all are higher-is-better.
+METRIC_SUFFIXES = ("_ops_s", "_keys_s", "_speedup")
+RATIO_SUFFIXES = ("_speedup",)
+
+
+@dataclass
+class Delta:
+    """One metric compared across two reports."""
+
+    index: str
+    metric: str
+    old: float
+    new: float
+
+    @property
+    def change(self) -> float:
+        """Fractional change; -0.25 means the metric dropped 25%."""
+        return (self.new - self.old) / self.old if self.old else 0.0
+
+
+def load_report(path: str) -> dict:
+    with open(path) as fp:
+        report = json.load(fp)
+    if "indexes" not in report or not isinstance(report["indexes"], dict):
+        raise ValueError(f"{path}: not a bench_micro report (no 'indexes')")
+    return report
+
+
+def _same_scale(old: dict, new: dict) -> bool:
+    old_scale = old.get("scale", {})
+    new_scale = new.get("scale", {})
+    shared = set(old_scale) & set(new_scale)
+    return bool(shared) and all(old_scale[k] == new_scale[k] for k in shared)
+
+
+def compare_reports(
+    old: dict, new: dict, threshold: float, ratio_threshold: float
+) -> Tuple[List[Delta], List[Delta], bool]:
+    """Compare two loaded reports.
+
+    Returns ``(all_deltas, regressions, ratios_only)`` over the indexes
+    and metrics present in both reports.
+    """
+    ratios_only = not _same_scale(old, new)
+    suffixes = RATIO_SUFFIXES if ratios_only else METRIC_SUFFIXES
+    limit = ratio_threshold if ratios_only else threshold
+    deltas: List[Delta] = []
+    regressions: List[Delta] = []
+    for name in sorted(set(old["indexes"]) & set(new["indexes"])):
+        old_row, new_row = old["indexes"][name], new["indexes"][name]
+        for metric in sorted(set(old_row) & set(new_row)):
+            if not metric.endswith(suffixes):
+                continue
+            old_v, new_v = old_row[metric], new_row[metric]
+            if not isinstance(old_v, (int, float)) or not isinstance(
+                new_v, (int, float)
+            ):
+                continue
+            delta = Delta(name, metric, float(old_v), float(new_v))
+            deltas.append(delta)
+            if delta.old > 0 and delta.change < -limit:
+                regressions.append(delta)
+    return deltas, regressions, ratios_only
+
+
+def _pair_report(
+    old_path: str,
+    new_path: str,
+    deltas: List[Delta],
+    regressions: List[Delta],
+    ratios_only: bool,
+    limit: float,
+) -> List[str]:
+    lines = [f"{old_path} -> {new_path}"]
+    if ratios_only:
+        lines.append(
+            "  scales differ: comparing *_speedup ratios only "
+            f"(threshold {limit:.0%})"
+        )
+    if not deltas:
+        lines.append("  no shared metrics to compare")
+        return lines
+    worst = sorted(deltas, key=lambda d: d.change)
+    flagged = {id(d) for d in regressions}
+    for d in worst[:8]:
+        marker = "REGRESSION" if id(d) in flagged else "ok"
+        lines.append(
+            f"  [{marker:>10}] {d.index:<8} {d.metric:<22} "
+            f"{d.old:>14,.2f} -> {d.new:>14,.2f}  ({d.change:+.1%})"
+        )
+    if len(worst) > 8:
+        lines.append(f"  ... {len(worst) - 8} more metrics all within threshold")
+    return lines
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.regress",
+        description="Diff bench_micro JSON reports and flag regressions.",
+    )
+    parser.add_argument(
+        "reports", nargs="+", help="bench_micro --out files, oldest first"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="max fractional drop tolerated on same-scale metrics "
+        f"(default {DEFAULT_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--ratio-threshold",
+        type=float,
+        default=DEFAULT_RATIO_THRESHOLD,
+        help="max fractional drop tolerated on *_speedup ratios when "
+        f"report scales differ (default {DEFAULT_RATIO_THRESHOLD})",
+    )
+    args = parser.parse_args(argv)
+    if len(args.reports) < 2:
+        parser.error("need at least two reports to compare")
+
+    try:
+        loaded = [(path, load_report(path)) for path in args.reports]
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    failed = False
+    for (old_path, old), (new_path, new) in zip(loaded, loaded[1:]):
+        deltas, regressions, ratios_only = compare_reports(
+            old, new, args.threshold, args.ratio_threshold
+        )
+        limit = args.ratio_threshold if ratios_only else args.threshold
+        for line in _pair_report(
+            old_path, new_path, deltas, regressions, ratios_only, limit
+        ):
+            print(line)
+        if regressions:
+            failed = True
+    print(
+        "FAIL: regressions beyond threshold"
+        if failed
+        else "OK: no regressions beyond threshold"
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

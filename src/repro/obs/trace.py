@@ -1,0 +1,166 @@
+"""Structured lifecycle-event tracing for index internals.
+
+The paper's structural claims — *which* dimension drives cost — hinge on
+events that end-of-run aggregates flatten away: when retrains fire, how
+splits cascade, where a buffer flush lands.  The tracer captures those
+moments as typed records on the simulated clock.
+
+Wiring: a :class:`Tracer` is attached to a
+:class:`~repro.perf.context.PerfContext` (``perf.tracer = tracer``), and
+every instrumentation site calls ``perf.trace(EventType.X, ...)`` — a
+no-op attribute check when no tracer is attached, so the cost with
+tracing off is negligible and no index needs new plumbing.
+
+Sampling: ``Tracer(rate=0.01)`` records ~1% of events but **counts all
+of them** — ``tracer.count(EventType.RETRAIN)`` is always exact, which
+is what lets tests pin trace counts against the indexes' own internal
+counters even when record storage is sampled down.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional
+
+
+class EventType:
+    """Lifecycle event taxonomy (see ``docs/observability.md``)."""
+
+    #: A node/leaf/level was refit over its live keys.
+    RETRAIN = "retrain"
+    #: One leaf/node/segment became two or more.
+    LEAF_SPLIT = "leaf_split"
+    #: A leaf was removed and its fence forgotten (delete emptied it).
+    LEAF_MERGE = "leaf_merge"
+    #: Staged writes (delta chain, LSM buffer, leaf buffer) were folded
+    #: into their base structure.
+    BUFFER_FLUSH = "buffer_flush"
+    #: Structural memory was allocated (nodes, pages, directory doubling).
+    NODE_ALLOC = "node_alloc"
+    #: The NVM store reclaimed dead record slots.
+    NVM_GC = "nvm_gc"
+    #: A refit model was rejected (error above threshold / insert
+    #: pressure) and the node split instead of expanding.
+    FIT_REJECT = "fit_reject"
+
+    ALL = (RETRAIN, LEAF_SPLIT, LEAF_MERGE, BUFFER_FLUSH, NODE_ALLOC, NVM_GC, FIT_REJECT)
+
+
+@dataclass
+class TraceEvent:
+    """One lifecycle event on the simulated clock."""
+
+    #: Monotone per-tracer sequence number (order of emission).
+    seq: int
+    #: Simulated nanoseconds elapsed on the emitting context's clock.
+    ts_ns: float
+    #: One of :class:`EventType`.
+    etype: str
+    #: Name of the emitting index/store ("" when not applicable).
+    index: str = ""
+    #: Leaf/node/level position within the index (-1 when not applicable).
+    leaf: int = -1
+    #: Key range the event covered (None when unknown/not applicable).
+    key_lo: Optional[int] = None
+    key_hi: Optional[int] = None
+    #: Why the event fired ("leaf_full", "lsm_carry", "pressure", ...).
+    reason: str = ""
+    #: Live keys involved (retrained keys, flushed entries, moved records).
+    keys: int = 0
+    #: Structural multiplicity (leaves produced, pages allocated, ...).
+    count: int = 1
+    #: Simulated-time cost delta of the operation that emitted the event.
+    cost_ns: float = 0.0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TraceEvent":
+        return cls(**d)
+
+
+class Tracer:
+    """Sampling-aware collector of :class:`TraceEvent` records.
+
+    Parameters
+    ----------
+    rate:
+        Default sampling rate in [0, 1]; 1.0 records every event.
+    rates:
+        Optional per-event-type overrides, e.g. ``{EventType.NODE_ALLOC:
+        0.0}`` to count (but never store) chatty allocation events.
+    seed:
+        Seed for the sampling RNG — sampling decisions are deterministic.
+    keep:
+        Whether to retain sampled events in :attr:`records` (disable when
+        a sink streams them to disk and memory matters).
+    """
+
+    def __init__(
+        self,
+        rate: float = 1.0,
+        rates: Optional[Dict[str, float]] = None,
+        seed: int = 0,
+        keep: bool = True,
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sampling rate must be in [0, 1], got {rate}")
+        for etype, r in (rates or {}).items():
+            if not 0.0 <= r <= 1.0:
+                raise ValueError(
+                    f"sampling rate for {etype!r} must be in [0, 1], got {r}"
+                )
+        self.rate = rate
+        self.rates: Dict[str, float] = dict(rates or {})
+        self.keep = keep
+        self._rng = random.Random(seed)
+        self._seq = 0
+        #: Exact per-type emission counts (pre-sampling).
+        self.counts: Dict[str, int] = {}
+        #: Per-type counts of events that passed sampling.
+        self.sampled: Dict[str, int] = {}
+        #: Sampled events, in emission order (when ``keep``).
+        self.records: List[TraceEvent] = []
+        self._sinks: List[Callable[[TraceEvent], None]] = []
+
+    def add_sink(self, sink: Callable[[TraceEvent], None]) -> None:
+        """Stream every sampled event to ``sink`` as it is emitted."""
+        self._sinks.append(sink)
+
+    def emit(self, etype: str, ts_ns: float, **fields) -> None:
+        """Count the event; record it if it passes sampling.
+
+        Called via :meth:`repro.perf.context.PerfContext.trace`; the
+        count is incremented *before* the sampling decision so counts
+        stay exact at any rate.
+        """
+        self.counts[etype] = self.counts.get(etype, 0) + 1
+        rate = self.rates.get(etype, self.rate)
+        if rate < 1.0 and (rate <= 0.0 or self._rng.random() >= rate):
+            return
+        self._seq += 1
+        event = TraceEvent(seq=self._seq, ts_ns=ts_ns, etype=etype, **fields)
+        self.sampled[etype] = self.sampled.get(etype, 0) + 1
+        if self.keep:
+            self.records.append(event)
+        for sink in self._sinks:
+            sink(event)
+
+    def count(self, etype: str) -> int:
+        """Exact number of ``etype`` emissions (independent of sampling)."""
+        return self.counts.get(etype, 0)
+
+    def total_count(self) -> int:
+        return sum(self.counts.values())
+
+    def summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-type ``{"emitted": exact, "sampled": stored}`` counts."""
+        return {
+            etype: {
+                "emitted": self.counts.get(etype, 0),
+                "sampled": self.sampled.get(etype, 0),
+            }
+            for etype in sorted(self.counts)
+        }

@@ -14,6 +14,7 @@ from this simulated clock, which is deterministic and size-independent.
 from repro.perf.events import Event, Counters
 from repro.perf.cost_model import CostModel
 from repro.perf.context import PerfContext, Operation
+from repro.perf.histogram import LogHistogram
 from repro.perf.latency import LatencyRecorder
 from repro.perf.bandwidth import BandwidthModel
 from repro.perf.breakdown import OpProfile, Profiler
@@ -24,6 +25,7 @@ __all__ = [
     "CostModel",
     "PerfContext",
     "Operation",
+    "LogHistogram",
     "LatencyRecorder",
     "BandwidthModel",
     "Profiler",

@@ -76,19 +76,32 @@ class Profiler:
         with self.operation(label):
             return fn()
 
-    def record_measured(self, label: str, measured) -> None:
+    def record_measured(self, label: str, measured, ops: int = 1) -> None:
         """Attribute an already-measured :class:`~repro.perf.context.Operation`.
 
         This is how the benchmark executor feeds the profiler: it brackets
         each operation itself (for latency recording) and hands the same
         measurement here, so one pass yields both percentiles and the
         event breakdown.
-        """
-        self._record(label, measured.time_ns, measured.counters)
 
-    def _record(self, label: str, time_ns: float, counters: Counters) -> None:
+        ``ops > 1`` attributes a batched measurement (one ``get_many`` /
+        ``put_many`` call covering a run of workload operations): the
+        coarse charge is split evenly across the run, so ``op_count`` and
+        the worst-op heap stay in per-operation units instead of one
+        batch landing in a single bucket.
+        """
+        self._record(label, measured.time_ns, measured.counters, ops)
+
+    def _record(
+        self, label: str, time_ns: float, counters: Counters, ops: int = 1
+    ) -> None:
         self.total.add(counters)
-        self.op_count += 1
+        self.op_count += ops
+        if ops > 1:
+            time_ns /= ops
+            counters = counters.copy()
+            for name in Event.ALL:
+                setattr(counters, name, getattr(counters, name) / ops)
         profile = OpProfile(label, time_ns, counters, self._dominant_of(counters))
         self._seq += 1
         entry = (time_ns, self._seq, profile)

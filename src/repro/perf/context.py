@@ -56,12 +56,29 @@ class PerfContext:
         self.cost_model = cost_model or CostModel()
         self.counters = Counters()
         self._mark: Optional[Counters] = None
+        #: Optional lifecycle-event tracer (see :mod:`repro.obs.trace`).
+        #: ``None`` by default so instrumented code pays one attribute
+        #: load and a falsy check when tracing is off.
+        self.tracer = None
 
     # -- charging -----------------------------------------------------
 
     def charge(self, event: str, n: int = 1) -> None:
         """Record ``n`` occurrences of ``event`` (an :class:`Event` name)."""
         setattr(self.counters, event, getattr(self.counters, event) + n)
+
+    # -- lifecycle tracing --------------------------------------------
+
+    def trace(self, etype: str, **fields) -> None:
+        """Emit a lifecycle event to the attached tracer, if any.
+
+        Instrumentation sites call this unconditionally; with no tracer
+        attached it is a no-op.  The event is timestamped with the
+        simulated clock (:meth:`elapsed_ns`) at emission.
+        """
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(etype, self.elapsed_ns(), **fields)
 
     # -- measurement --------------------------------------------------
 

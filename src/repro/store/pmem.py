@@ -13,6 +13,7 @@ import math
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import DeviceError, InvalidConfigurationError
+from repro.obs.trace import EventType
 from repro.perf.context import DEFAULT_CONTEXT, PerfContext
 from repro.perf.events import Event
 
@@ -60,6 +61,13 @@ class PMemDevice:
             raise DeviceError("device full: no pages left")
         self.perf.charge(Event.ALLOC)
         self._pages.append(_Page(self.slots_per_page))
+        self.perf.trace(
+            EventType.NODE_ALLOC,
+            index="pmem",
+            leaf=len(self._pages) - 1,
+            count=1,
+            reason="vpage",
+        )
         return len(self._pages) - 1
 
     def allocate_slots(self, n: int) -> List[Tuple[int, int]]:
@@ -83,6 +91,13 @@ class PMemDevice:
         first = len(self._pages)
         self._pages.extend(
             _Page(self.slots_per_page) for _ in range(pages_needed)
+        )
+        self.perf.trace(
+            EventType.NODE_ALLOC,
+            index="pmem",
+            leaf=first,
+            count=pages_needed,
+            reason="vpage_bulk",
         )
         return [
             (first + i // self.slots_per_page, i % self.slots_per_page)
@@ -197,6 +212,20 @@ class PMemDevice:
                     yield page_id, slot, record[0], record[1]
         if pending_blocks:
             self.perf.charge(Event.NVM_READ)
+
+    def page_occupancy(self) -> Iterator[Tuple[int, int, List[int]]]:
+        """Yield ``(page_id, used, empty_slot_indices)`` per page.
+
+        A slot-bitmap walk, not a record read: charged one sequential
+        ``NVM_READ`` per page of metadata — what a GC pass pays to find
+        dead slots.
+        """
+        for page_id, page in enumerate(self._pages):
+            self.perf.charge(Event.NVM_READ)
+            empty = [
+                slot for slot, record in enumerate(page.slots) if record is None
+            ]
+            yield page_id, page.used, empty
 
     # -- accounting -----------------------------------------------------------
 

@@ -15,6 +15,7 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from repro.core.interfaces import Index, SortedIndex
 from repro.errors import CrashedError, UnsupportedOperationError
+from repro.obs.trace import EventType
 from repro.perf.context import PerfContext
 from repro.store.pmem import PMemDevice
 
@@ -265,6 +266,48 @@ class ViperStore:
 
     def __contains__(self, key: int) -> bool:
         return self.index.get(key) is not None
+
+    # -- garbage collection ---------------------------------------------------
+
+    def gc(self) -> int:
+        """Reclaim dead NVM slots for reuse; returns slots reclaimed.
+
+        Deletes free their slots into the allocator's free list, but
+        :meth:`recover` rebuilds the store with an empty free list — any
+        slot freed before a crash becomes unreachable garbage, and
+        allocation falls through to fresh pages forever.  The GC pass
+        scans per-page occupancy metadata (one sequential ``NVM_READ``
+        per page) and returns every dead slot the allocator does not
+        already track to the free list.
+
+        Every fully handed-out page's empty slots are dead records; on
+        the currently open page only slots below the allocation cursor
+        are (the tail has simply never been allocated).
+        """
+        self._check_alive()
+        mark = self.perf.begin()
+        tracked = set(self._free_slots)
+        reclaimed = 0
+        for page_id, _used, empty in self.device.page_occupancy():
+            limit = (
+                self._next_slot
+                if page_id == self._open_page
+                else self.device.slots_per_page
+            )
+            for slot in empty:
+                if slot < limit and (page_id, slot) not in tracked:
+                    self._free_slots.append((page_id, slot))
+                    reclaimed += 1
+        op = self.perf.end(mark)
+        self.perf.trace(
+            EventType.NVM_GC,
+            index=f"viper[{self.index.name}]",
+            keys=reclaimed,
+            count=self.device.page_count,
+            reason="slot_reclaim",
+            cost_ns=op.time_ns,
+        )
+        return reclaimed
 
     # -- crash & recovery -----------------------------------------------------
 

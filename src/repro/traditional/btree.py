@@ -22,6 +22,7 @@ from repro.core.interfaces import (
 )
 from repro.errors import InvalidConfigurationError
 from repro.perf.context import PerfContext
+from repro.obs.trace import EventType
 from repro.perf.events import Event
 
 _SLOT_BYTES = 16
@@ -345,6 +346,15 @@ class BPlusTree(UpdatableIndex):
         charge(Event.ALLOC)
         charge(Event.KEY_MOVE, len(right.keys))
         self._node_count += 1
+        self.perf.trace(
+            EventType.LEAF_SPLIT,
+            index=self.name,
+            key_lo=leaf.keys[0] if leaf.keys else None,
+            key_hi=right.keys[-1],
+            keys=len(leaf.keys) + len(right.keys),
+            count=2,
+            reason="fanout_exceeded",
+        )
         self._insert_into_parent(right.keys[0], right, path, slots)
 
     def _insert_into_parent(

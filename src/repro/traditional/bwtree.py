@@ -28,6 +28,7 @@ from repro.core.interfaces import (
 )
 from repro.errors import InvalidConfigurationError
 from repro.perf.context import PerfContext
+from repro.obs.trace import EventType
 from repro.perf.events import Event
 
 _PAIR_BYTES = 16
@@ -250,6 +251,14 @@ class BwTree(UpdatableIndex):
 
     def _consolidate(self, pid: int) -> None:
         items = self._page_items(pid)
+        self.perf.trace(
+            EventType.BUFFER_FLUSH,
+            index=self.name,
+            leaf=pid,
+            keys=len(items),
+            count=self._chain_len[pid],
+            reason="delta_chain_limit",
+        )
         self.perf.charge(Event.KEY_MOVE, len(items))
         self.perf.charge(Event.ALLOC)
         if len(items) > self.node_size:
@@ -260,6 +269,16 @@ class BwTree(UpdatableIndex):
             )
             self._chain_len[pid] = 0
             self._new_page([k for k, _ in right], [v for _, v in right])
+            self.perf.trace(
+                EventType.LEAF_SPLIT,
+                index=self.name,
+                leaf=pid,
+                key_lo=left[0][0],
+                key_hi=right[-1][0],
+                keys=len(items),
+                count=2,
+                reason="node_size_exceeded",
+            )
         else:
             if items:
                 self._mapping[pid] = _Base(

@@ -22,6 +22,7 @@ from repro.core.interfaces import (
 )
 from repro.errors import InvalidConfigurationError, ReproError
 from repro.perf.context import PerfContext
+from repro.obs.trace import EventType
 from repro.perf.events import Event
 
 _SLOT_BYTES = 16
@@ -173,6 +174,12 @@ class CCEH(Index):
             self.global_depth += 1
             self.perf.charge(Event.ALLOC)
             self.perf.charge(Event.KEY_MOVE, len(self._directory))
+            self.perf.trace(
+                EventType.NODE_ALLOC,
+                index=self.name,
+                count=len(self._directory),
+                reason="directory_double",
+            )
 
         new_depth = segment.local_depth + 1
         left = _Segment(new_depth, self._segment_slots)
@@ -188,6 +195,13 @@ class CCEH(Index):
             self._rehash_into(target, h, key, value)
             moved += 1
         self.perf.charge(Event.KEY_MOVE, moved)
+        self.perf.trace(
+            EventType.LEAF_SPLIT,
+            index=self.name,
+            keys=moved,
+            count=2,
+            reason="segment_full",
+        )
 
         # Repoint every directory entry that referenced the old segment:
         # the bit that ``new_depth`` adds decides left vs. right.

@@ -20,6 +20,7 @@ from repro.core.interfaces import (
     Value,
     check_sorted_unique,
 )
+from repro.obs.trace import EventType
 from repro.perf.context import PerfContext
 from repro.perf.events import Event
 
@@ -131,6 +132,14 @@ class SkipList(UpdatableIndex):
         new = _Node(key, value, height)
         self._tower_slots += height
         self.perf.charge(Event.ALLOC)
+        self.perf.trace(
+            EventType.NODE_ALLOC,
+            index=self.name,
+            key_lo=key,
+            keys=1,
+            count=height,
+            reason="tower",
+        )
         for lvl in range(height):
             new.forward[lvl] = update[lvl].forward[lvl]
             update[lvl].forward[lvl] = new

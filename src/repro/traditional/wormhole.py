@@ -27,6 +27,7 @@ from repro.core.interfaces import (
 )
 from repro.errors import InvalidConfigurationError
 from repro.perf.context import PerfContext
+from repro.obs.trace import EventType
 from repro.perf.events import Event
 
 _PAIR_BYTES = 16
@@ -183,6 +184,16 @@ class Wormhole(UpdatableIndex):
         self.perf.charge(Event.KEY_MOVE, len(right.keys))
         # New anchor registered in the MetaTrieHash.
         self.perf.charge(Event.HASH, _ANCHOR_PREFIXES)
+        self.perf.trace(
+            EventType.LEAF_SPLIT,
+            index=self.name,
+            leaf=pos,
+            key_lo=leaf.keys[0] if leaf.keys else None,
+            key_hi=right.keys[-1],
+            keys=len(leaf.keys) + len(right.keys),
+            count=2,
+            reason="leaf_size_exceeded",
+        )
 
     def delete(self, key: Key) -> bool:
         if not self._leaves:

@@ -1,0 +1,139 @@
+"""Bench-regression tool: pairwise report diffs and exit codes."""
+
+import json
+
+import pytest
+
+from repro.obs.regress import Delta, compare_reports, load_report, main
+
+REPO_PR2 = "BENCH_PR2.json"
+REPO_PR3 = "BENCH_PR3.json"
+
+
+def _report(scale, **indexes):
+    return {"scale": scale, "indexes": indexes}
+
+
+SCALE = {"n_keys": 1000, "n_scalar": 100}
+
+
+class TestCompareReports:
+    def test_drop_beyond_threshold_flags_regression(self):
+        old = _report(SCALE, btree={"get_ops_s": 1000.0})
+        new = _report(SCALE, btree={"get_ops_s": 850.0})
+        deltas, regressions, ratios_only = compare_reports(old, new, 0.10, 0.50)
+        assert not ratios_only
+        assert len(deltas) == 1
+        assert len(regressions) == 1
+        assert regressions[0].change == pytest.approx(-0.15)
+
+    def test_drop_within_threshold_passes(self):
+        old = _report(SCALE, btree={"get_ops_s": 1000.0})
+        new = _report(SCALE, btree={"get_ops_s": 950.0})
+        _, regressions, _ = compare_reports(old, new, 0.10, 0.50)
+        assert regressions == []
+
+    def test_improvement_never_flags(self):
+        old = _report(SCALE, btree={"get_ops_s": 1000.0})
+        new = _report(SCALE, btree={"get_ops_s": 5000.0})
+        _, regressions, _ = compare_reports(old, new, 0.10, 0.50)
+        assert regressions == []
+
+    def test_non_metric_keys_ignored(self):
+        old = _report(SCALE, btree={"name": "B+Tree", "n_keys": 1000})
+        new = _report(SCALE, btree={"name": "B+Tree", "n_keys": 500})
+        deltas, regressions, _ = compare_reports(old, new, 0.10, 0.50)
+        assert deltas == [] and regressions == []
+
+    def test_only_shared_indexes_and_metrics_compared(self):
+        old = _report(SCALE, btree={"get_ops_s": 1.0}, rs={"get_ops_s": 1.0})
+        new = _report(SCALE, btree={"put_ops_s": 1.0}, alex={"get_ops_s": 9.0})
+        deltas, _, _ = compare_reports(old, new, 0.10, 0.50)
+        assert deltas == []
+
+    def test_differing_scales_restrict_to_speedup_ratios(self):
+        quick = dict(SCALE, n_keys=50)
+        old = _report(
+            SCALE, btree={"get_ops_s": 1000.0, "batch_speedup": 20.0}
+        )
+        new = _report(
+            quick, btree={"get_ops_s": 10.0, "batch_speedup": 15.0}
+        )
+        deltas, regressions, ratios_only = compare_reports(old, new, 0.10, 0.50)
+        assert ratios_only
+        # The 100x ops/s "drop" is a scale artifact and must be ignored;
+        # the 25% speedup dip is within the looser ratio threshold.
+        assert [d.metric for d in deltas] == ["batch_speedup"]
+        assert regressions == []
+
+    def test_speedup_collapse_fails_even_across_scales(self):
+        quick = dict(SCALE, n_keys=50)
+        old = _report(SCALE, btree={"batch_speedup": 20.0})
+        new = _report(quick, btree={"batch_speedup": 4.0})
+        _, regressions, ratios_only = compare_reports(old, new, 0.10, 0.50)
+        assert ratios_only
+        assert len(regressions) == 1
+
+    def test_delta_change_handles_zero_old(self):
+        assert Delta("x", "m_ops_s", 0.0, 5.0).change == 0.0
+
+
+class TestLoadReport:
+    def test_rejects_non_report_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"results": []}))
+        with pytest.raises(ValueError):
+            load_report(str(path))
+
+
+class TestMainExitCodes:
+    def test_real_committed_pair_passes(self, capsys):
+        # The repo's own bench history must not trip its own gate.  The
+        # committed baselines come from different sessions, so CI runs
+        # this pair at the cross-machine threshold (0.2); mirror that.
+        rc = main(["--threshold", "0.2", REPO_PR2, REPO_PR3])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "OK: no regressions" in out
+
+    def test_injected_regression_fails(self, tmp_path, capsys):
+        report = load_report(REPO_PR3)
+        report["indexes"]["btree"]["get_ops_s"] *= 0.5
+        degraded = tmp_path / "degraded.json"
+        degraded.write_text(json.dumps(report))
+        rc = main([REPO_PR3, str(degraded)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "REGRESSION" in out
+        assert "FAIL" in out
+
+    def test_three_reports_compare_adjacent_pairs(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        c = tmp_path / "c.json"
+        a.write_text(json.dumps(_report(SCALE, x={"get_ops_s": 100.0})))
+        b.write_text(json.dumps(_report(SCALE, x={"get_ops_s": 101.0})))
+        c.write_text(json.dumps(_report(SCALE, x={"get_ops_s": 50.0})))
+        assert main([str(a), str(b)]) == 0
+        capsys.readouterr()
+        assert main([str(a), str(b), str(c)]) == 1
+
+    def test_custom_threshold(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(_report(SCALE, x={"get_ops_s": 100.0})))
+        b.write_text(json.dumps(_report(SCALE, x={"get_ops_s": 94.0})))
+        assert main([str(a), str(b)]) == 0
+        assert main(["--threshold", "0.05", str(a), str(b)]) == 1
+
+    def test_missing_file_is_load_error(self, capsys):
+        rc = main([REPO_PR3, "no_such_report.json"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "error:" in err
+
+    def test_malformed_json_is_load_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        rc = main([REPO_PR3, str(bad)])
+        assert rc == 2

@@ -1,0 +1,353 @@
+"""Lifecycle tracing: emission contracts, sampling, exporter round-trips."""
+
+import random
+
+import pytest
+
+from repro import registry
+from repro.bench.runner import run_index_ops
+from repro.obs import (
+    EventType,
+    TraceEvent,
+    Tracer,
+    read_trace_jsonl,
+    trace_summary,
+    write_trace_jsonl,
+)
+from repro.obs.export import JsonlTraceSink
+from repro.perf import PerfContext
+from repro.workloads.datasets import DATASETS
+from repro.workloads.ycsb import (
+    READ_ONLY,
+    WRITE_ONLY,
+    WorkloadSpec,
+    generate_operations,
+    split_load_and_inserts,
+)
+
+#: Indexes whose write path refits models, so a write-heavy run must
+#: produce RETRAIN events that match their internal retrain counter.
+RETRAINING = [
+    s.cli_name
+    for s in registry.specs()
+    if s.category in ("learned-updatable", "extension")
+]
+#: Updatable indexes without a model to retrain; they must still emit
+#: *some* lifecycle event (splits, flushes, allocations) under writes.
+STRUCTURAL = [
+    s.cli_name
+    for s in registry.specs()
+    if s.category in ("traditional", "hash")
+]
+
+
+def _write_heavy_run(cli_name: str, n_load=1_000, n_ops=3_000, rate=1.0):
+    spec = registry.resolve(cli_name)
+    perf = PerfContext()
+    tracer = Tracer(rate=rate, seed=7)
+    perf.tracer = tracer
+    index = spec.build(perf)
+    keys = DATASETS["ycsb"](n_load * 5, seed=3)
+    load, insert_pool = split_load_and_inserts(keys, 0.2, seed=3)
+    index.bulk_load([(k, k) for k in load])
+    ops = generate_operations(WRITE_ONLY, n_ops, load, insert_pool, seed=3)
+    run_index_ops(index, ops, perf)
+    return index, tracer
+
+
+class TestTracerBasics:
+    def test_emit_and_count(self):
+        tracer = Tracer()
+        perf = PerfContext()
+        perf.tracer = tracer
+        perf.trace(EventType.RETRAIN, index="X", keys=10)
+        perf.trace(EventType.RETRAIN, index="X", keys=20)
+        perf.trace(EventType.LEAF_SPLIT, index="X")
+        assert tracer.count(EventType.RETRAIN) == 2
+        assert tracer.count(EventType.LEAF_SPLIT) == 1
+        assert tracer.count(EventType.NVM_GC) == 0
+        assert tracer.total_count() == 3
+        assert [e.etype for e in tracer.records] == [
+            EventType.RETRAIN,
+            EventType.RETRAIN,
+            EventType.LEAF_SPLIT,
+        ]
+        assert [e.seq for e in tracer.records] == [1, 2, 3]
+
+    def test_no_tracer_is_noop(self):
+        perf = PerfContext()
+        perf.trace(EventType.RETRAIN, index="X")  # must not raise
+
+    def test_timestamps_use_simulated_clock(self):
+        from repro.perf.events import Event
+
+        perf = PerfContext()
+        perf.tracer = Tracer()
+        perf.charge(Event.DRAM_HOP, 10)
+        perf.trace(EventType.RETRAIN)
+        assert perf.tracer.records[0].ts_ns == pytest.approx(perf.elapsed_ns())
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(rate=1.5)
+        with pytest.raises(ValueError):
+            Tracer(rates={EventType.RETRAIN: -0.1})
+
+
+class TestSampling:
+    def test_counts_exact_under_sampling(self):
+        tracer = Tracer(rate=0.25, seed=11)
+        for _ in range(4_000):
+            tracer.emit(EventType.NODE_ALLOC, 0.0)
+        assert tracer.count(EventType.NODE_ALLOC) == 4_000
+        sampled = len(tracer.records)
+        assert sampled == tracer.sampled[EventType.NODE_ALLOC]
+        # Honours the rate: a binomial(4000, 0.25) stays well inside this.
+        assert 700 < sampled < 1_300
+
+    def test_rate_zero_counts_but_keeps_nothing(self):
+        tracer = Tracer(rate=0.0)
+        for _ in range(100):
+            tracer.emit(EventType.RETRAIN, 0.0)
+        assert tracer.count(EventType.RETRAIN) == 100
+        assert tracer.records == []
+
+    def test_sampling_deterministic_for_seed(self):
+        def run(seed):
+            tracer = Tracer(rate=0.5, seed=seed)
+            for i in range(500):
+                tracer.emit(EventType.RETRAIN, float(i))
+            return [e.seq for e in tracer.records]
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+    def test_per_type_rate_override(self):
+        tracer = Tracer(rate=1.0, rates={EventType.NODE_ALLOC: 0.0})
+        for _ in range(50):
+            tracer.emit(EventType.NODE_ALLOC, 0.0)
+            tracer.emit(EventType.RETRAIN, 0.0)
+        assert tracer.count(EventType.NODE_ALLOC) == 50
+        assert all(e.etype == EventType.RETRAIN for e in tracer.records)
+        assert len(tracer.records) == 50
+
+    def test_index_counters_exact_even_when_sampled(self):
+        index, tracer = _write_heavy_run("alex", rate=0.1)
+        assert tracer.count(EventType.RETRAIN) == index.stats().retrain_count
+        assert len(tracer.records) < tracer.total_count()
+
+
+class TestEveryIndexEmits:
+    @pytest.mark.parametrize("cli_name", RETRAINING)
+    def test_retraining_indexes_emit_retrain(self, cli_name):
+        index, tracer = _write_heavy_run(cli_name)
+        stats = index.stats()
+        assert stats.retrain_count > 0, "write-heavy run must trigger retrains"
+        assert tracer.count(EventType.RETRAIN) == stats.retrain_count
+
+    @pytest.mark.parametrize("cli_name", STRUCTURAL)
+    def test_structural_indexes_emit_lifecycle_events(self, cli_name):
+        _, tracer = _write_heavy_run(cli_name)
+        assert tracer.total_count() > 0
+
+    def test_composed_split_counter_matches_trace(self):
+        index, tracer = _write_heavy_run("alex")
+        assert (
+            tracer.count(EventType.LEAF_SPLIT)
+            == index.stats().extra["leaf_splits"]
+        )
+
+
+class TestAcceptance100k:
+    """The PR's acceptance run: 100k mixed YCSB ops at sampling 1.0."""
+
+    MIXED = WorkloadSpec("mixed-rw", read=0.6, insert=0.4)
+
+    @pytest.mark.parametrize("cli_name", ["alex", "pgm"])
+    def test_trace_counts_match_internal_counters(self, cli_name, tmp_path):
+        spec = registry.resolve(cli_name)
+        perf = PerfContext()
+        tracer = Tracer(rate=1.0)
+        perf.tracer = tracer
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonlTraceSink(open(path, "w"))
+        tracer.add_sink(sink)
+        index = spec.build(perf)
+        keys = DATASETS["ycsb"](120_000, seed=42)
+        load, insert_pool = split_load_and_inserts(keys, 0.25, seed=42)
+        index.bulk_load([(k, k) for k in load])
+        ops = generate_operations(
+            self.MIXED, 100_000, load, insert_pool, seed=42
+        )
+        run_index_ops(index, ops, perf)
+        sink.close()
+
+        stats = index.stats()
+        events = read_trace_jsonl(path)
+        retrains = sum(
+            1
+            for e in events
+            if e.etype == EventType.RETRAIN and e.index == index.name
+        )
+        splits = sum(
+            1
+            for e in events
+            if e.etype == EventType.LEAF_SPLIT and e.index == index.name
+        )
+        assert stats.retrain_count > 0
+        assert retrains == stats.retrain_count
+        assert retrains == tracer.count(EventType.RETRAIN)
+        expected_splits = stats.extra.get("leaf_splits", 0)
+        assert splits == expected_splits
+        assert splits == tracer.count(EventType.LEAF_SPLIT)
+
+
+class TestExportRoundTrip:
+    def _events(self):
+        tracer = Tracer()
+        tracer.emit(EventType.RETRAIN, 10.0, index="A", keys=5, cost_ns=3.5)
+        tracer.emit(
+            EventType.LEAF_SPLIT,
+            20.5,
+            index="A",
+            leaf=3,
+            key_lo=1,
+            key_hi=99,
+            keys=7,
+            count=2,
+            reason="model_refit_split",
+        )
+        tracer.emit(EventType.NVM_GC, 30.0, index="viper[A]", keys=12)
+        return tracer.records
+
+    def test_jsonl_round_trip_identical_records(self, tmp_path):
+        events = self._events()
+        path = str(tmp_path / "t.jsonl")
+        assert write_trace_jsonl(events, path) == 3
+        parsed = read_trace_jsonl(path)
+        assert parsed == events
+
+    def test_round_trip_summary_identical(self, tmp_path):
+        events = self._events()
+        path = str(tmp_path / "t.jsonl")
+        write_trace_jsonl(events, path)
+        assert trace_summary(read_trace_jsonl(path)) == trace_summary(events)
+
+    def test_streaming_sink_equals_batch_write(self, tmp_path):
+        events = self._events()
+        streamed = str(tmp_path / "streamed.jsonl")
+        tracer = Tracer()
+        sink = JsonlTraceSink(open(streamed, "w"))
+        tracer.add_sink(sink)
+        for e in events:
+            tracer.emit(
+                e.etype,
+                e.ts_ns,
+                index=e.index,
+                leaf=e.leaf,
+                key_lo=e.key_lo,
+                key_hi=e.key_hi,
+                reason=e.reason,
+                keys=e.keys,
+                count=e.count,
+                cost_ns=e.cost_ns,
+            )
+        sink.close()
+        assert read_trace_jsonl(streamed) == events
+
+    def test_event_dict_round_trip(self):
+        event = TraceEvent(
+            seq=1, ts_ns=5.0, etype=EventType.BUFFER_FLUSH, keys=3
+        )
+        assert TraceEvent.from_dict(event.to_dict()) == event
+
+
+class TestStoreEvents:
+    def test_gc_reclaims_slots_lost_by_recovery(self):
+        from repro.learned.alex import ALEXIndex
+        from repro.store.viper import ViperStore
+
+        perf = PerfContext()
+        tracer = Tracer()
+        perf.tracer = tracer
+        store = ViperStore(ALEXIndex(perf=perf), perf)
+        store.bulk_load([(i, i) for i in range(100)])
+        for k in range(0, 40, 2):
+            assert store.delete(k)
+        store.crash()
+        store.recover(lambda: ALEXIndex(perf=perf))
+        assert store._free_slots == []  # recovery forgets freed slots
+        reclaimed = store.gc()
+        # 20 deleted slots plus the 12-slot tail of the page that was open
+        # before the crash: recover() starts a fresh open page, so that tail
+        # is unreachable by the cursor until gc returns it to the free list.
+        assert reclaimed == 20 + 12
+        assert tracer.count(EventType.NVM_GC) == 1
+        event = [e for e in tracer.records if e.etype == EventType.NVM_GC][0]
+        assert event.keys == 32
+        # A second pass finds nothing new.
+        assert store.gc() == 0
+        # Reclaimed slots are actually reused by subsequent puts.
+        pages_before = store.device.page_count
+        for k in range(1_000, 1_015):
+            store.put(k, k)
+        assert store.device.page_count == pages_before
+
+    def test_gc_ignores_open_page_tail(self):
+        from repro.learned.alex import ALEXIndex
+        from repro.store.viper import ViperStore
+
+        perf = PerfContext()
+        tracer = Tracer()
+        perf.tracer = tracer
+        store = ViperStore(ALEXIndex(perf=perf), perf)
+        store.bulk_load([(i, i) for i in range(4)])
+        store.put(100, 100)  # lands on the open page; tail stays unallocated
+        assert store.gc() == 0
+
+    def test_pmem_page_alloc_traced(self):
+        from repro.store.pmem import PMemDevice
+
+        perf = PerfContext()
+        tracer = Tracer()
+        perf.tracer = tracer
+        device = PMemDevice(slots_per_page=4, perf=perf)
+        device.allocate_page()
+        device.allocate_slots(9)
+        allocs = [
+            e for e in tracer.records if e.etype == EventType.NODE_ALLOC
+        ]
+        assert [a.count for a in allocs] == [1, 3]
+
+
+class TestRunnerIntegration:
+    def test_metrics_and_progress_wiring(self, tmp_path):
+        import io
+
+        from repro.obs import MetricsRegistry, ProgressReporter
+        from repro.traditional.btree import BPlusTree
+
+        perf = PerfContext()
+        index = BPlusTree(perf=perf)
+        index.bulk_load([(i, i) for i in range(0, 2_000, 2)])
+        rng = random.Random(0)
+        keys = [rng.randrange(0, 2_000) for _ in range(500)]
+        ops = generate_operations(
+            READ_ONLY, 500, keys, None, seed=0
+        )
+        metrics = MetricsRegistry()
+        stream = io.StringIO()
+        progress = ProgressReporter(total=500, every=100, stream=stream)
+        result = run_index_ops(
+            index, ops, perf, metrics=metrics, progress=progress
+        )
+        counted = metrics.counter(
+            "repro_ops_total", target=index.name, kind="read"
+        )
+        assert counted.value == len(result.recorder)
+        hist = metrics.histogram(
+            "repro_op_latency_ns", target=index.name, kind="read"
+        )
+        assert hist.count == len(result.recorder)
+        out = stream.getvalue()
+        assert "ops:" in out and "done" in out
