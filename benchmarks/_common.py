@@ -18,7 +18,8 @@ from functools import lru_cache
 from typing import Callable, Tuple
 
 from repro import PerfContext, ViperStore
-from repro.registry import factories
+from repro.registry import factories, resolve
+from repro.registry import specs as registry_specs
 from repro.workloads import face_keys, osm_keys, uniform_keys, ycsb_keys
 
 _SCALES = {
@@ -66,6 +67,40 @@ EXTENSIONS = factories(category="extension")
 READ_CASE = factories(figure="read", overrides=_TUNING)
 WRITE_CASE = factories(figure="write")
 
+#: Figs 12/14's concurrent-writer set: among the paper's learned indexes
+#: only XIndex supports concurrent writes (Table I), compared against the
+#: traditional indexes and CCEH; FINEdex joins as the second
+#: retrain-blocking learned competitor from the extensions.
+CONCURRENT_WRITE_CASE = {
+    "XIndex": resolve("XIndex"),
+    **TRADITIONAL,
+    **CCEH_FACTORY,
+    "FINEdex": resolve("FINEdex"),
+}
+
+#: The measurement tables ``measure_baseline`` can draw from, keyed by
+#: the figure family.  Iteration order of each table is registry
+#: (presentation) order — result files list indexes in this order no
+#: matter which ``--jobs`` worker finished first.
+BASELINE_CASES = {
+    "read": READ_CASE,
+    "write": CONCURRENT_WRITE_CASE,
+}
+
+#: Figure label -> the index's declared CC scheme, per figure family.
+#: Resolved through the *figure labels*, not ``resolve(label)`` — the
+#: read figure calls the static PGM just "PGM", which the registry would
+#: resolve to the dynamic (global-locked) variant.
+CASE_CONCURRENCY = {
+    "read": {
+        spec.label_in("read"): spec.concurrency
+        for spec in registry_specs(figure="read")
+    },
+    "write": {
+        name: resolve(name).concurrency for name in CONCURRENT_WRITE_CASE
+    },
+}
+
 
 # ---------------------------------------------------------------- datasets
 
@@ -100,3 +135,78 @@ def run_once(benchmark, fn):
     timing rounds would only re-measure CPython overhead.
     """
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def pool_workers(jobs: int) -> int:
+    """Worker-process count for a ``--jobs`` request, capped at the
+    machine's cores — oversubscribing processes only adds scheduler
+    thrash to wall-clock time."""
+    return max(1, min(jobs, os.cpu_count() or 1))
+
+
+def measure_baseline(case: Tuple[str, str], seed: int = 0) -> dict:
+    """Single-thread profile of one index under one figure family.
+
+    ``case`` is ``(table_key, name)`` into :data:`BASELINE_CASES` — a
+    picklable top-level entry point shared by every multithread figure
+    module, so ``ProcessPoolExecutor.map`` can fan the per-index
+    measurements out.  Returns everything the thread-scaling projections
+    need: the measured mean/p99.9/bytes-per-op profile plus the measured
+    retrain cadence (``retrain_every`` writes between retrains,
+    ``retrain_stall_ns`` per blocking retrain) for the simulator.
+    """
+    from repro.bench import run_store_ops
+    from repro.perf import CostModel
+    from repro.workloads import READ_ONLY, WRITE_ONLY, generate_operations
+    from repro.workloads.ycsb import split_load_and_inserts
+
+    table_key, name = case
+    factory = BASELINE_CASES[table_key][name]
+    keys = dataset("ycsb", SMALL_N)
+    if table_key == "read":
+        load, insert_pool = list(keys), None
+        ops = generate_operations(READ_ONLY, N_OPS, load, seed=seed)
+    else:
+        load, insert_pool = split_load_and_inserts(keys, 0.5, seed=seed)
+        ops = generate_operations(
+            WRITE_ONLY, len(insert_pool) - 1, load, insert_pool, seed=seed
+        )
+    store, perf = loaded_store(factory, load)
+    recorder, bytes_per_op = run_store_ops(store, ops, perf)
+    stats = store.index.stats()
+    if stats.retrain_count:
+        retrain_every = max(1, len(ops) // stats.retrain_count)
+        retrain_stall_ns = (
+            stats.retrain_keys / stats.retrain_count
+        ) * CostModel().retrain_key_ns
+    else:
+        retrain_every, retrain_stall_ns = 0, 0.0
+    return {
+        "name": name,
+        "mean_ns": recorder.mean(),
+        "p999_ns": recorder.p999(),
+        "bytes_per_op": bytes_per_op,
+        "ops": len(ops),
+        "retrain_every": retrain_every,
+        "retrain_stall_ns": retrain_stall_ns,
+    }
+
+
+def measure_baselines(table_key: str, seed: int, jobs: int = 1) -> list:
+    """Measure every index in one figure family, in registry order.
+
+    ``--jobs`` only changes which process does the measuring; the result
+    list order (and therefore every emitted curve and result file) is
+    the registry presentation order.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    cases = [(table_key, name) for name in BASELINE_CASES[table_key]]
+    workers = pool_workers(jobs)
+    if workers > 1 and len(cases) > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            measured = list(pool.map(measure_baseline, cases, [seed] * len(cases)))
+    else:
+        measured = [measure_baseline(case, seed) for case in cases]
+    order = {name: i for i, name in enumerate(BASELINE_CASES[table_key])}
+    return sorted(measured, key=lambda m: order[m["name"]])

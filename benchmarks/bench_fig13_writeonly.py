@@ -21,6 +21,7 @@ from _common import (
     WRITE_CASE,
     dataset,
     loaded_store,
+    pool_workers,
     run_once,
 )
 from repro.bench import BenchResult, format_table, run_store_ops, write_result
@@ -47,8 +48,9 @@ def run_writeonly(jobs: int = 1):
     cells = [
         (n, name) for n in (SMALL_N, LARGE_N) for name in WRITE_CASE
     ]
-    if jobs > 1:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
+    workers = pool_workers(jobs)
+    if workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
             measured = list(pool.map(_measure_cell, cells))
     else:
         measured = [_measure_cell(cell) for cell in cells]

@@ -1,95 +1,125 @@
 """Fig 14 — multi-threaded write-only: XIndex vs. traditional indexes.
 
-Among the learned indexes only XIndex supports concurrent writes
-(Table I), so the paper plots it against the traditional indexes.  Shape:
+Among the paper's learned indexes only XIndex supports concurrent writes
+(Table I), so the paper plots it against the traditional indexes; we add
+FINEdex as the second retrain-blocking learned competitor.  Shape:
 XIndex's scaling "is similar to that of Masstree — overall, XIndex's
-performance is close to traditional indexes".
+performance is close to traditional indexes" — but the *scaling ratio*
+of the retrain-blocking learned indexes (XIndex, FINEdex) trails the
+B-tree's and Bw-tree's, because every group/level retrain stalls the
+writers behind it (the Amdahl serial fraction the latches can't hide).
 
-Like Fig 12, each thread count reports the process-based projection (the
-paper's setting) next to the GIL-bound thread projection, and ``--jobs N``
-fans the per-index single-thread measurements out over worker processes.
+Like Fig 12, the default ``--projection sim`` runs the discrete-event
+concurrency simulator on each index's measured single-thread profile
+(including its measured retrain cadence); ``--projection analytic``
+keeps the closed-form bandwidth-only numbers.  ``--jobs N`` fans the
+per-index measurements out over worker processes.
 """
 
 import argparse
-from concurrent.futures import ProcessPoolExecutor
 
-from _common import (
-    SMALL_N,
-    TRADITIONAL,
-    CCEH_FACTORY,
-    dataset,
-    loaded_store,
-    run_once,
-)
-from repro import XIndexIndex
-from repro.bench import format_table, run_store_ops, thread_scaling, write_result
-from repro.workloads import WRITE_ONLY, generate_operations
-from repro.workloads.ycsb import split_load_and_inserts
+from _common import CASE_CONCURRENCY, measure_baselines, run_once
+from repro.bench import format_table, thread_scaling, write_result
 
 THREADS = (1, 2, 4, 8, 16, 24, 32)
-
-CONCURRENT_WRITERS = {
-    "XIndex": lambda perf: XIndexIndex(perf=perf),
-    **TRADITIONAL,
-    **CCEH_FACTORY,
-}
+SEED = 14
 
 
-def _measure_write(name):
-    """Single-thread baseline for one index; top-level so it pickles."""
-    keys = dataset("ycsb", SMALL_N)
-    load, inserts = split_load_and_inserts(keys, 0.5, seed=14)
-    ops = generate_operations(
-        WRITE_ONLY, len(inserts) - 1, load, inserts, seed=14
-    )
-    store, perf = loaded_store(CONCURRENT_WRITERS[name], load)
-    recorder, bytes_per_op = run_store_ops(store, ops, perf)
-    return name, recorder.mean(), recorder.p999(), bytes_per_op
+def project_write_curves(measured, projection: str):
+    """Thread-scaling curves per index from measured write baselines."""
+    return {
+        m["name"]: thread_scaling(
+            m["mean_ns"],
+            m["p999_ns"],
+            m["bytes_per_op"],
+            THREADS,
+            projection=projection,
+            concurrency=CASE_CONCURRENCY["write"][m["name"]],
+            write_fraction=1.0,
+            retrain_every=m["retrain_every"],
+            retrain_stall_ns=m["retrain_stall_ns"],
+            seed=SEED,
+        )
+        for m in measured
+    }
 
 
-def run_multithread_write(jobs: int = 1):
-    names = list(CONCURRENT_WRITERS)
-    if jobs > 1:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            measured = list(pool.map(_measure_write, names))
-    else:
-        measured = [_measure_write(name) for name in names]
+def _render(curves, projection: str):
     rows = []
-    curves = {}
-    for name, mean_ns, p999_ns, bytes_per_op in measured:
-        scaling = thread_scaling(mean_ns, p999_ns, bytes_per_op, THREADS)
-        curves[name] = scaling
+    for name, scaling in curves.items():
         for point in scaling:
-            rows.append(
-                [
-                    name,
-                    point["threads"],
-                    f"{point['throughput_mops']:.2f}",
-                    f"{point['gil_thread_mops']:.2f}",
-                    f"{point['p999_ns'] / 1000:.2f}",
-                ]
-            )
-    table = format_table(
-        ["index", "threads", "Mops/s (proc)", "Mops/s (GIL thr)",
-         "p99.9 (us)"],
-        rows,
-        title="Fig 14 — multi-threaded write-only (bandwidth-model projection; "
-        "'proc' = one interpreter per core, 'GIL thr' = Python threads "
-        "serialised by the GIL)",
+            row = [
+                name,
+                point["threads"],
+                f"{point['throughput_mops']:.2f}",
+                f"{point['gil_thread_mops']:.2f}",
+                f"{point['p999_ns'] / 1000:.2f}",
+            ]
+            if projection == "sim":
+                row.append(f"{100 * point['latch_wait_share']:.1f}%")
+                row.append(f"{100 * point['retrain_stall_share']:.1f}%")
+            rows.append(row)
+    headers = ["index", "threads", "Mops/s (proc)", "Mops/s (GIL thr)",
+               "p99.9 (us)"]
+    if projection == "sim":
+        headers += ["latch wait", "retrain stall"]
+    title = (
+        "Fig 14 — multi-threaded write-only ("
+        + (
+            "discrete-event concurrency simulation"
+            if projection == "sim"
+            else "bandwidth-model projection"
+        )
+        + "; 'proc' = one interpreter per core, 'GIL thr' = Python "
+        "threads serialised by the GIL)"
     )
-    return table, curves
+    return format_table(headers, rows, title=title)
+
+
+def run_multithread_write(jobs: int = 1, projection: str = "sim"):
+    measured = measure_baselines("write", SEED, jobs=jobs)
+    curves = project_write_curves(measured, projection)
+    return _render(curves, projection), curves
+
+
+TRADITIONAL_NAMES = ("BTree", "Skiplist", "Masstree", "Bwtree", "Wormhole")
 
 
 def test_fig14_multithread_write(benchmark):
-    table, curves = run_once(benchmark, run_multithread_write)
-    write_result("fig14_multithread_write", table)
+    measured = run_once(benchmark, lambda: measure_baselines("write", SEED))
+    sim = project_write_curves(measured, "sim")
+    analytic = project_write_curves(measured, "analytic")
+    write_result(
+        "fig14_multithread_write",
+        _render(sim, "sim"),
+        data={"threads": list(THREADS), "curves": sim},
+    )
+
+    # --- simulator projection: the paper's qualitative shape ----------
     # XIndex lands inside the traditional indexes' band at every count.
-    for i, t in enumerate(THREADS):
-        trad = [
-            curves[n][i]["throughput_mops"]
-            for n in ("BTree", "Skiplist", "Masstree", "Bwtree", "Wormhole")
-        ]
-        x = curves["XIndex"][i]["throughput_mops"]
+    for i, _t in enumerate(THREADS):
+        trad = [sim[n][i]["throughput_mops"] for n in TRADITIONAL_NAMES]
+        x = sim["XIndex"][i]["throughput_mops"]
+        assert min(trad) * 0.5 <= x <= max(trad) * 1.5
+    # Blocking retrains cap the scaling of the retrain-blocking learned
+    # indexes below the non-blocking B-tree and Bw-tree.
+    speedup = {
+        n: c[-1]["throughput_mops"] / c[0]["throughput_mops"]
+        for n, c in sim.items()
+    }
+    for learned in ("XIndex", "FINEdex"):
+        for traditional in ("BTree", "Bwtree"):
+            assert speedup[learned] < speedup[traditional], (
+                f"{learned} ({speedup[learned]:.1f}x) should scale worse "
+                f"than {traditional} ({speedup[traditional]:.1f}x)"
+            )
+    # ... and the stall time is visible in the breakdown.
+    assert sim["XIndex"][-1]["retrain_stall_share"] > 0.0
+
+    # --- analytic fallback: pre-simulator behaviour, unchanged --------
+    for i, _t in enumerate(THREADS):
+        trad = [analytic[n][i]["throughput_mops"] for n in TRADITIONAL_NAMES]
+        x = analytic["XIndex"][i]["throughput_mops"]
         assert min(trad) * 0.5 <= x <= max(trad) * 1.5
 
 
@@ -99,6 +129,16 @@ if __name__ == "__main__":
         "--jobs", type=int, default=1,
         help="worker processes for the per-index baseline measurements",
     )
+    parser.add_argument(
+        "--projection", choices=("sim", "analytic"), default="sim",
+        help="concurrency simulator (sim) or closed-form bandwidth curve",
+    )
     args = parser.parse_args()
-    table, _ = run_multithread_write(jobs=args.jobs)
-    write_result("fig14_multithread_write", table)
+    table, curves = run_multithread_write(
+        jobs=args.jobs, projection=args.projection
+    )
+    write_result(
+        "fig14_multithread_write",
+        table,
+        data={"threads": list(THREADS), "curves": curves},
+    )

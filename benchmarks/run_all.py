@@ -31,6 +31,7 @@ MODULES = [
     "bench_fig12_multithread_read",
     "bench_fig13_writeonly",
     "bench_fig14_multithread_write",
+    "bench_concurrency",
     "bench_fig15_mixed",
     "bench_fig16_recovery",
     "bench_fig17a_approximation",
@@ -129,8 +130,9 @@ def main() -> int:
     ]
     ran = 0
     t0 = time.time()
-    if args.jobs > 1 and len(selected) > 1:
-        with ProcessPoolExecutor(max_workers=args.jobs) as pool:
+    workers = max(1, min(args.jobs, os.cpu_count() or 1))
+    if workers > 1 and len(selected) > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
             for _name, output, count in pool.map(
                 _execute_module_captured, selected
             ):

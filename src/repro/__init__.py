@@ -22,9 +22,18 @@ Subpackages:
 * :mod:`repro.store` — the Viper-like NVM key-value store.
 * :mod:`repro.workloads` — datasets and YCSB workloads.
 * :mod:`repro.perf` — the deterministic cost-model simulator.
+* :mod:`repro.concurrency` — CC declarations, the discrete-event
+  multithread simulator, and range-partitioned sharding.
 * :mod:`repro.bench` — measurement harness.
 """
 
+from repro.concurrency import (
+    ConcurrencySpec,
+    ShardedIndex,
+    ShardedStore,
+    sharded_index,
+    simulate_scaling,
+)
 from repro.core import ComposedIndex
 from repro.perf import BandwidthModel, CostModel, PerfContext
 from repro.registry import IndexSpec, UnknownIndexError, resolve, specs
@@ -47,6 +56,11 @@ globals().update(_INDEX_CLASSES)
 
 __all__ = [
     "ComposedIndex",
+    "ConcurrencySpec",
+    "ShardedIndex",
+    "ShardedStore",
+    "sharded_index",
+    "simulate_scaling",
     "IndexSpec",
     "UnknownIndexError",
     "resolve",

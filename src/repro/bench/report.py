@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import json
 import os
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 #: Results are written here by every benchmark module so the paper-style
 #: tables survive pytest's output capturing.
@@ -59,11 +60,22 @@ def format_bars(
     return "\n".join(lines)
 
 
-def write_result(name: str, text: str) -> str:
-    """Persist a rendered table under ``benchmarks/results/`` and echo it."""
+def write_result(name: str, text: str, data: Optional[dict] = None) -> str:
+    """Persist a rendered table under ``benchmarks/results/`` and echo it.
+
+    With ``data``, the raw numbers are also written as ``{name}.json``
+    with sorted keys — committed result files must diff byte-identically
+    no matter which ``--jobs`` worker finished first, so every dict is
+    serialised in key order rather than insertion order.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     with open(path, "w") as f:
         f.write(text + "\n")
+    if data is not None:
+        json_path = os.path.join(RESULTS_DIR, f"{name}.json")
+        with open(json_path, "w") as f:
+            json.dump(data, f, indent=2, sort_keys=True)
+            f.write("\n")
     print(f"\n{text}\n[saved to {path}]")
     return path

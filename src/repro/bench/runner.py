@@ -325,39 +325,95 @@ def thread_scaling(
     bytes_per_op: float,
     threads: Sequence[int],
     bandwidth: BandwidthModel = BandwidthModel(),
+    projection: str = "analytic",
+    concurrency: Optional["ConcurrencySpec"] = None,
+    write_fraction: float = 0.0,
+    retrain_every: int = 0,
+    retrain_stall_ns: float = 0.0,
+    ops_per_thread: int = 800,
+    seed: int = 0,
 ) -> List[dict]:
     """Project single-thread results onto N workers (Figs 12 and 14).
 
-    Two projections per row, because "threads" means two different
-    things for a CPython harness:
+    Two projections are available:
 
-    * ``throughput_mops`` — **process-based** scaling (one interpreter
-      per core, as ``benchmarks/run_all.py --jobs`` fans out): N workers
-      share only the socket's memory-bandwidth pool, the contention the
-      paper measures on real hardware.
-    * ``gil_thread_mops`` — **thread-based** scaling inside one
-      interpreter: the GIL serialises the index code, so aggregate
-      throughput is pinned at the single-thread rate (minus a small
-      handoff overhead once more than one thread contends), no matter
-      how many threads run.
+    * ``projection="analytic"`` — the closed-form bandwidth model: N
+      workers share only the socket's memory-bandwidth pool.  This is
+      the pre-simulator behaviour, kept byte-identical as a fallback
+      and as the sanity baseline the simulator is compared against.
+    * ``projection="sim"`` — the discrete-event simulator
+      (:mod:`repro.concurrency.sim`): per-thread op streams scheduled
+      on the simulated clock, charging latch waits, optimistic-read
+      retries, and retrain stalls per ``concurrency`` (the index's
+      :class:`~repro.concurrency.spec.ConcurrencySpec`) on top of the
+      same bandwidth pool.  Rows gain ``latch_wait_share``,
+      ``retrain_stall_share``, ``retries``, and ``retrain_stalls``.
 
-    The gap between the two columns is the reason the real-time
-    benchmark harness uses processes, not threads.
+    Both projections emit ``gil_thread_mops`` — **thread-based** scaling
+    inside one CPython interpreter, where the GIL serialises the index
+    code so aggregate throughput is pinned at the single-thread rate
+    (minus a small handoff overhead once more than one thread contends).
+    The gap between that column and the others is the reason the
+    real-time benchmark harness uses processes, not threads.
     """
+    if projection not in ("analytic", "sim"):
+        raise ValueError(
+            f"unknown projection {projection!r}; one of ('analytic', 'sim')"
+        )
     rows = []
-    for t in threads:
+    if projection == "analytic":
+        for t in threads:
+            gil_ns = mean_ns * (1.0 + (_GIL_SWITCH_OVERHEAD if t > 1 else 0.0))
+            rows.append(
+                {
+                    "threads": t,
+                    "throughput_mops": bandwidth.throughput_mops(
+                        t, bytes_per_op, mean_ns
+                    ),
+                    "gil_thread_mops": 1e3 / gil_ns,
+                    "p999_ns": bandwidth.tail_latency_ns(
+                        t, bytes_per_op, mean_ns, p999_ns
+                    ),
+                    "slowdown": bandwidth.slowdown(t, bytes_per_op, mean_ns),
+                }
+            )
+        return rows
+
+    from repro.concurrency.sim import OpProfile, simulate_scaling
+    from repro.concurrency.spec import ConcurrencySpec
+
+    spec = concurrency if concurrency is not None else ConcurrencySpec()
+    profile = OpProfile(
+        mean_ns=mean_ns,
+        p999_ns=p999_ns,
+        bytes_per_op=bytes_per_op,
+        retrain_every=retrain_every,
+        retrain_stall_ns=retrain_stall_ns,
+    )
+    for t, result in zip(
+        threads,
+        simulate_scaling(
+            spec,
+            profile,
+            threads,
+            write_fraction=write_fraction,
+            ops_per_thread=ops_per_thread,
+            bandwidth=bandwidth,
+            seed=seed,
+        ),
+    ):
         gil_ns = mean_ns * (1.0 + (_GIL_SWITCH_OVERHEAD if t > 1 else 0.0))
         rows.append(
             {
                 "threads": t,
-                "throughput_mops": bandwidth.throughput_mops(
-                    t, bytes_per_op, mean_ns
-                ),
+                "throughput_mops": result.throughput_mops,
                 "gil_thread_mops": 1e3 / gil_ns,
-                "p999_ns": bandwidth.tail_latency_ns(
-                    t, bytes_per_op, mean_ns, p999_ns
-                ),
-                "slowdown": bandwidth.slowdown(t, bytes_per_op, mean_ns),
+                "p999_ns": result.p999_ns,
+                "slowdown": result.bandwidth_slowdown,
+                "latch_wait_share": result.latch_wait_share,
+                "retrain_stall_share": result.retrain_stall_share,
+                "retries": result.retries,
+                "retrain_stalls": result.retrain_stalls,
             }
         )
     return rows

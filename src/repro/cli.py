@@ -19,7 +19,8 @@ import random
 import sys
 
 from repro import PerfContext, ViperStore, registry
-from repro.bench import format_table, run_store_ops
+from repro.bench import format_table, run_store_ops, thread_scaling
+from repro.concurrency import ShardedStore
 from repro.obs import (
     EventType,
     JsonlTraceSink,
@@ -66,6 +67,7 @@ def cmd_info(_args: argparse.Namespace) -> int:
                 "bounded" if caps.bounded_error else "unfixed",
                 caps.inner_node or "-",
                 caps.insertion or "-",
+                spec.concurrency.describe(),
             ]
         )
     print(
@@ -79,12 +81,131 @@ def cmd_info(_args: argparse.Namespace) -> int:
                 "error",
                 "inner node",
                 "insertion",
+                "concurrency",
             ],
             rows,
             title="Available indexes",
         )
     )
     return 0
+
+
+def _parse_threads(text: str) -> list:
+    """Parse ``--threads "1,8,32"`` into a sorted thread-count list.
+
+    Doubles as the argparse ``type=`` so bad values fail at parse time,
+    before the benchmark runs.
+    """
+    try:
+        counts = sorted({int(part) for part in text.split(",") if part.strip()})
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        ) from None
+    if any(t < 1 for t in counts):
+        raise argparse.ArgumentTypeError(
+            f"thread counts must be >= 1, got {text!r}"
+        )
+    return counts
+
+
+def _build_store(spec, perf, shards: int):
+    """One ViperStore, or K of them behind the sharded router."""
+    if shards > 1:
+        return ShardedStore(spec.build, shards, perf=perf)
+    return ViperStore(spec.build(perf), perf)
+
+
+def _retrain_profile(store, ops_run: int) -> tuple:
+    """Measured ``(retrain_every, retrain_stall_ns)`` from the run's stats.
+
+    The simulator charges these only for retrain-blocking indexes, so
+    passing them unconditionally is safe.
+    """
+    from repro.perf.cost_model import CostModel
+
+    stores = store.stores if isinstance(store, ShardedStore) else [store]
+    count = keys = 0
+    for child in stores:
+        stats = child.index.stats()
+        count += stats.retrain_count
+        keys += stats.retrain_keys
+    if count == 0 or ops_run == 0:
+        return 0, 0.0
+    stall_ns = (keys / count) * CostModel().retrain_key_ns
+    return max(1, ops_run // count), stall_ns
+
+
+def _scaling_table(spec, workload, recorder, bytes_per_op, args, store) -> str:
+    """Project the measured single-thread profile onto ``--threads``."""
+    write_fraction = workload.update + workload.insert + workload.rmw
+    retrain_every, retrain_stall_ns = _retrain_profile(store, len(recorder))
+    rows = thread_scaling(
+        recorder.mean(),
+        recorder.p999(),
+        bytes_per_op,
+        args.threads,
+        projection=args.projection,
+        concurrency=spec.concurrency,
+        write_fraction=write_fraction,
+        retrain_every=retrain_every,
+        retrain_stall_ns=retrain_stall_ns,
+        seed=args.seed,
+    )
+    if args.projection == "sim":
+        body = [
+            [
+                r["threads"],
+                f"{r['throughput_mops']:.2f}",
+                f"{r['p999_ns']:.0f}",
+                f"{100 * r['latch_wait_share']:.1f}%",
+                f"{100 * r['retrain_stall_share']:.1f}%",
+                f"{r['retries']:,}",
+                f"{r['retrain_stalls']:,}",
+            ]
+            for r in rows
+        ]
+        return format_table(
+            [
+                "threads",
+                "Mops/s",
+                "p99.9 ns",
+                "latch wait",
+                "retrain stall",
+                "retries",
+                "stalls",
+            ],
+            body,
+            title=f"Thread scaling (sim, {spec.concurrency.describe()})",
+        )
+    body = [
+        [
+            r["threads"],
+            f"{r['throughput_mops']:.2f}",
+            f"{r['gil_thread_mops']:.2f}",
+            f"{r['p999_ns']:.0f}",
+            f"{r['slowdown']:.3f}",
+        ]
+        for r in rows
+    ]
+    return format_table(
+        ["threads", "Mops/s", "GIL Mops/s", "p99.9 ns", "slowdown"],
+        body,
+        title="Thread scaling (analytic bandwidth model)",
+    )
+
+
+def _shard_balance_table(store: ShardedStore) -> str:
+    total = sum(store.shard_ops) or 1
+    body = [
+        [s, f"{len(store.stores[s]):,}", f"{ops:,}", f"{100 * ops / total:.1f}%"]
+        for s, ops in enumerate(store.shard_ops)
+    ]
+    return format_table(
+        ["shard", "records", "ops routed", "share"],
+        body,
+        title=f"Shard balance ({store.shards} range partitions)",
+    )
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -112,7 +233,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
 
     perf = PerfContext()
-    store = ViperStore(spec.build(perf), perf)
+    store = _build_store(spec, perf, args.shards)
     mark = perf.begin()
     store.bulk_load([(k, k) for k in load])
     build_ns = perf.end(mark).time_ns
@@ -132,6 +253,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 ["index", spec.name],
                 ["workload", workload.name],
                 ["batch size", args.batch_size],
+                ["shards", args.shards],
                 ["dataset", f"{args.dataset} ({len(load):,} loaded keys)"],
                 ["operations", f"{len(recorder):,}"],
                 ["build (sim ms)", f"{build_ns / 1e6:.2f}"],
@@ -144,6 +266,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
             title="Benchmark result (simulated hardware)",
         )
     )
+    if args.shards > 1:
+        print()
+        print(_shard_balance_table(store))
+    if args.threads:
+        print()
+        print(_scaling_table(spec, workload, recorder, bytes_per_op, args, store))
     return 0
 
 
@@ -186,7 +314,7 @@ def cmd_report(args: argparse.Namespace) -> int:
         else None
     )
 
-    store = ViperStore(spec.build(perf), perf)
+    store = _build_store(spec, perf, args.shards)
     mark = perf.begin()
     store.bulk_load([(k, k) for k in load])
     build_ns = perf.end(mark).time_ns
@@ -199,9 +327,62 @@ def cmd_report(args: argparse.Namespace) -> int:
         metrics=metrics,
         progress=progress,
     )
+    recorder = result.recorder
+
+    scaling_text = ""
+    if args.threads:
+        # Run the projection before the trace summary so its LATCH_WAIT /
+        # RETRAIN_STALL events land in the lifecycle table below.
+        if args.projection == "sim":
+            from repro.concurrency import OpProfile, simulate_scaling
+
+            write_fraction = workload.update + workload.insert + workload.rmw
+            retrain_every, retrain_stall_ns = _retrain_profile(
+                store, len(recorder)
+            )
+            results = simulate_scaling(
+                spec.concurrency,
+                OpProfile(
+                    mean_ns=recorder.mean(),
+                    p999_ns=recorder.p999(),
+                    bytes_per_op=result.bytes_per_op,
+                    retrain_every=retrain_every,
+                    retrain_stall_ns=retrain_stall_ns,
+                ),
+                args.threads,
+                write_fraction=write_fraction,
+                seed=args.seed,
+                tracer=tracer,
+                index_name=spec.name,
+            )
+            scaling_text = format_table(
+                [
+                    "threads",
+                    "Mops/s",
+                    "p99.9 ns",
+                    "latch wait",
+                    "retrain stall",
+                    "retries",
+                ],
+                [
+                    [
+                        r.threads,
+                        f"{r.throughput_mops:.2f}",
+                        f"{r.p999_ns:.0f}",
+                        f"{100 * r.latch_wait_share:.1f}%",
+                        f"{100 * r.retrain_stall_share:.1f}%",
+                        f"{r.retries:,}",
+                    ]
+                    for r in results
+                ],
+                title=f"Thread scaling (sim, {spec.concurrency.describe()})",
+            )
+        else:
+            scaling_text = _scaling_table(
+                spec, workload, recorder, result.bytes_per_op, args, store
+            )
     if sink is not None:
         sink.close()
-    recorder = result.recorder
 
     print(
         format_table(
@@ -262,21 +443,31 @@ def cmd_report(args: argparse.Namespace) -> int:
         )
     )
 
-    stats = store.index.stats()
-    print()
-    print(
-        format_table(
-            ["stat", "value"],
-            [
-                ["leaf count", f"{stats.leaf_count:,}"],
-                ["depth avg/max", f"{stats.depth_avg:.2f} / {stats.depth_max}"],
-                ["retrains", f"{stats.retrain_count:,}"],
-                ["retrained keys", f"{stats.retrain_keys:,}"],
-                *[[k, f"{v:,}"] for k, v in sorted(stats.extra.items())],
-            ],
-            title=f"Index structure ({spec.name})",
+    if args.shards > 1:
+        print()
+        print(_shard_balance_table(store))
+    else:
+        stats = store.index.stats()
+        print()
+        print(
+            format_table(
+                ["stat", "value"],
+                [
+                    ["leaf count", f"{stats.leaf_count:,}"],
+                    [
+                        "depth avg/max",
+                        f"{stats.depth_avg:.2f} / {stats.depth_max}",
+                    ],
+                    ["retrains", f"{stats.retrain_count:,}"],
+                    ["retrained keys", f"{stats.retrain_keys:,}"],
+                    *[[k, f"{v:,}"] for k, v in sorted(stats.extra.items())],
+                ],
+                title=f"Index structure ({spec.name})",
+            )
         )
-    )
+    if scaling_text:
+        print()
+        print(scaling_text)
     print()
     print(profiler.explain())
 
@@ -320,6 +511,30 @@ def cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_concurrency_flags(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="range-partition the store across K shards "
+        "(each shard owns its own index instance)",
+    )
+    sub_parser.add_argument(
+        "--threads",
+        type=_parse_threads,
+        default=[],
+        help='project the measured profile onto these thread counts, e.g. '
+        '"1,8,32" (off when empty)',
+    )
+    sub_parser.add_argument(
+        "--projection",
+        choices=("analytic", "sim"),
+        default="sim",
+        help="thread-scaling model: the discrete-event concurrency "
+        "simulator (sim) or the closed-form bandwidth curve (analytic)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -356,6 +571,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print live progress/throughput lines to stderr",
     )
+    _add_concurrency_flags(bench)
 
     report = sub.add_parser(
         "report",
@@ -392,6 +608,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print live progress/throughput lines to stderr",
     )
+    _add_concurrency_flags(report)
 
     ds = sub.add_parser("datasets", help="inspect a synthetic dataset")
     ds.add_argument("--name", default="ycsb")

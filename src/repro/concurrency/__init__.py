@@ -1,0 +1,56 @@
+"""Concurrency modeling: CC declarations, a discrete-event simulator,
+and range-partitioned sharding.
+
+* :mod:`repro.concurrency.spec` — :class:`ConcurrencySpec`, the per-index
+  concurrency-control declaration (scheme, latch domains, blocking
+  retrains) carried on every registry entry.
+* :mod:`repro.concurrency.sim` — the deterministic discrete-event
+  simulator that schedules N per-thread op streams on the simulated
+  clock, charging latch waits, optimistic retries, and retrain stalls on
+  top of the shared memory-bandwidth pool.  Figs 12/14 are produced by
+  driving it with each index's measured single-thread profile.
+* :mod:`repro.concurrency.sharding` — :class:`ShardRouter`,
+  :class:`ShardedIndex`, and :class:`ShardedStore`: run any registry
+  spec across K range-partitioned shards with per-shard perf contexts,
+  bit-identically to the unsharded instance.
+"""
+
+from repro.concurrency.spec import (
+    CC_SCHEMES,
+    ConcurrencySpec,
+    GLOBAL_LOCK,
+    LOCK_FREE,
+)
+from repro.concurrency.sim import (
+    OpProfile,
+    RWLOCK_BOUNCE_NS,
+    SimResult,
+    make_streams,
+    simulate,
+    simulate_scaling,
+)
+from repro.concurrency.sharding import (
+    ShardRouter,
+    ShardedIndex,
+    ShardedStore,
+    SortedShardedIndex,
+    sharded_index,
+)
+
+__all__ = [
+    "CC_SCHEMES",
+    "ConcurrencySpec",
+    "GLOBAL_LOCK",
+    "LOCK_FREE",
+    "OpProfile",
+    "RWLOCK_BOUNCE_NS",
+    "SimResult",
+    "make_streams",
+    "simulate",
+    "simulate_scaling",
+    "ShardRouter",
+    "ShardedIndex",
+    "ShardedStore",
+    "SortedShardedIndex",
+    "sharded_index",
+]

@@ -1,0 +1,116 @@
+"""Per-index concurrency-control declarations (the paper's Table I, CC column).
+
+The paper's multithread results (§III, Figs 12/14) are explained by
+*concurrency control*, not just bandwidth: XIndex and FINEdex take
+fine-grained latches and stall while a group retrains, Masstree and the
+Bw-tree read optimistically and only latch to write, ALEX ships no CC at
+all and must be wrapped in one global lock, CCEH contends per segment.
+"Are Updatable Learned Indexes Ready?" (Wongkham et al., VLDB 2022) makes
+the same point: the CC scheme is a first-order effect for updatable
+learned indexes under concurrency.
+
+A :class:`ConcurrencySpec` captures that declaration per index.  It is
+carried on every :class:`~repro.registry.IndexSpec` and consumed by the
+discrete-event simulator (:mod:`repro.concurrency.sim`) that projects
+single-thread measurements onto N threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidConfigurationError
+
+#: The four concurrency-control schemes the simulator distinguishes:
+#:
+#: * ``lock_free`` — reads and writes proceed without latches (CAS-based
+#:   structures: skip lists, static read-only indexes).
+#: * ``global_lock`` — one reader-writer lock guards the whole structure
+#:   (indexes that ship no CC scheme: ALEX, LIPP, the dynamic PGM,
+#:   FITing-tree).  Writers serialise; readers share the lock but bounce
+#:   its cacheline.
+#: * ``fine_grained_latch`` — writers latch one of ``latch_domains``
+#:   independent domains (B-tree nodes, XIndex groups, CCEH segments);
+#:   readers take a shared latch on the same domain.
+#: * ``optimistic_read`` — readers proceed without latches and validate a
+#:   version stamp, retrying when a concurrent writer invalidated the
+#:   read (Masstree, Bw-tree); writers latch like ``fine_grained_latch``.
+CC_SCHEMES = (
+    "lock_free",
+    "global_lock",
+    "fine_grained_latch",
+    "optimistic_read",
+)
+
+
+@dataclass(frozen=True)
+class ConcurrencySpec:
+    """How one index behaves under concurrent threads.
+
+    The defaults describe an index that ships no concurrency control —
+    the conservative assumption for anything not declared otherwise
+    (wrap it in a global lock, block everyone while it retrains).
+    """
+
+    #: One of :data:`CC_SCHEMES`.
+    scheme: str = "global_lock"
+    #: Whether a model retrain blocks concurrent operations on the whole
+    #: structure (XIndex group merge-retrain, FINEdex level retraining,
+    #: ALEX subtree rebuilds under its global lock).  Indexes that
+    #: retrain off the critical path (LSM merges into fresh levels)
+    #: leave this False.
+    retrain_blocking: bool = False
+    #: Number of independently latchable domains for the fine-grained
+    #: schemes (B-tree leaf latches, XIndex groups, CCEH segments).
+    #: ``global_lock`` always behaves as one domain.
+    latch_domains: int = 1
+    #: Probability scale of an optimistic read retry: the per-read retry
+    #: probability is ``retry_base * write_fraction * (threads-1)/threads``.
+    retry_base: float = 0.0
+    #: One-line provenance note shown in docs and ``repro info``.
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.scheme not in CC_SCHEMES:
+            raise InvalidConfigurationError(
+                f"unknown concurrency scheme {self.scheme!r}; "
+                f"one of {CC_SCHEMES}"
+            )
+        if self.latch_domains < 1:
+            raise InvalidConfigurationError(
+                f"latch_domains must be >= 1, got {self.latch_domains}"
+            )
+        if not 0.0 <= self.retry_base <= 1.0:
+            raise InvalidConfigurationError(
+                f"retry_base must be in [0, 1], got {self.retry_base}"
+            )
+
+    @property
+    def effective_domains(self) -> int:
+        """Latch domains the simulator actually uses for this scheme.
+
+        ``global_lock`` is always one domain.  ``lock_free`` writes
+        contend per *key word* (a CAS conflicts only with a concurrent
+        CAS on the same location), which the simulator approximates with
+        a wide domain space — at least 1024 — rather than the declared
+        latch count.
+        """
+        if self.scheme == "global_lock":
+            return 1
+        if self.scheme == "lock_free":
+            return max(self.latch_domains, 1024)
+        return self.latch_domains
+
+    def describe(self) -> str:
+        """Compact one-token summary for capability tables."""
+        out = self.scheme
+        if self.scheme in ("fine_grained_latch", "optimistic_read"):
+            out += f"[{self.latch_domains}]"
+        if self.retrain_blocking:
+            out += "+retrain-block"
+        return out
+
+
+#: Convenience instances for the common declarations.
+LOCK_FREE = ConcurrencySpec(scheme="lock_free")
+GLOBAL_LOCK = ConcurrencySpec(scheme="global_lock")

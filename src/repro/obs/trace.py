@@ -43,8 +43,25 @@ class EventType:
     #: A refit model was rejected (error above threshold / insert
     #: pressure) and the node split instead of expanding.
     FIT_REJECT = "fit_reject"
+    #: A simulated thread waited for a latch held by another thread
+    #: (``cost_ns`` carries the wait; emitted by the concurrency
+    #: simulator, :mod:`repro.concurrency.sim`).
+    LATCH_WAIT = "latch_wait"
+    #: A simulated thread stalled behind a blocking retrain (XIndex /
+    #: FINEdex style); ``cost_ns`` carries the stall.
+    RETRAIN_STALL = "retrain_stall"
 
-    ALL = (RETRAIN, LEAF_SPLIT, LEAF_MERGE, BUFFER_FLUSH, NODE_ALLOC, NVM_GC, FIT_REJECT)
+    ALL = (
+        RETRAIN,
+        LEAF_SPLIT,
+        LEAF_MERGE,
+        BUFFER_FLUSH,
+        NODE_ALLOC,
+        NVM_GC,
+        FIT_REJECT,
+        LATCH_WAIT,
+        RETRAIN_STALL,
+    )
 
 
 @dataclass

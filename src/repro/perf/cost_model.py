@@ -34,6 +34,8 @@ class CostModel:
     nvm_write_ns: float = 100.0
     alloc_ns: float = 60.0
     retrain_key_ns: float = 14.0
+    latch_acquire_ns: float = 20.0
+    opt_retry_ns: float = 30.0
 
     def weights(self) -> dict:
         """Event name -> nanoseconds, aligned with :class:`Event` names."""
@@ -48,6 +50,8 @@ class CostModel:
             Event.NVM_WRITE: self.nvm_write_ns,
             Event.ALLOC: self.alloc_ns,
             Event.RETRAIN_KEY: self.retrain_key_ns,
+            Event.LATCH_ACQUIRE: self.latch_acquire_ns,
+            Event.OPT_RETRY: self.opt_retry_ns,
         }
 
     def time_ns(self, counters: Counters) -> float:
@@ -78,6 +82,10 @@ EVENT_BYTES = {
     Event.NVM_WRITE: 256,
     Event.ALLOC: 64,
     Event.RETRAIN_KEY: 16,
+    # The latch word / version stamp lives on one cacheline that bounces
+    # between the contending cores.
+    Event.LATCH_ACQUIRE: 64,
+    Event.OPT_RETRY: 64,
 }
 
 

@@ -17,6 +17,10 @@ about explicitly:
 * ``NVM_READ`` / ``NVM_WRITE`` — one 256-byte Optane block access.
 * ``ALLOC`` — allocating a new node/page.
 * ``RETRAIN_KEY`` — refitting one key during a model retrain.
+* ``LATCH_ACQUIRE`` — taking one latch/lock (a CAS plus a fence on the
+  latch word's cacheline); charged by the concurrency simulator.
+* ``OPT_RETRY`` — one failed optimistic-read validation forcing a retry
+  (Masstree/Bw-tree style version checks); charged by the simulator.
 """
 
 from __future__ import annotations
@@ -35,6 +39,8 @@ class Event:
     NVM_WRITE = "nvm_write"
     ALLOC = "alloc"
     RETRAIN_KEY = "retrain_key"
+    LATCH_ACQUIRE = "latch_acquire"
+    OPT_RETRY = "opt_retry"
 
     ALL = (
         DRAM_HOP,
@@ -47,6 +53,8 @@ class Event:
         NVM_WRITE,
         ALLOC,
         RETRAIN_KEY,
+        LATCH_ACQUIRE,
+        OPT_RETRY,
     )
 
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
+from repro.concurrency.spec import ConcurrencySpec
 from repro.core.interfaces import Index
 from repro.errors import InvalidConfigurationError, ReproError
 from repro.learned import (
@@ -98,8 +99,18 @@ class IndexSpec:
     default_kwargs: Mapping[str, Any] = field(default_factory=dict)
     #: One-line provenance/description shown in docs and ``info``.
     description: str = ""
+    #: How the index behaves under concurrent threads (Table I's CC
+    #: column); drives the multithread projection simulator.  The
+    #: default — one global lock, no blocking retrains — is the
+    #: conservative assumption for an index that ships no CC scheme.
+    concurrency: ConcurrencySpec = field(default_factory=ConcurrencySpec)
 
     def __post_init__(self) -> None:
+        if not isinstance(self.concurrency, ConcurrencySpec):
+            raise InvalidConfigurationError(
+                f"index {self.name!r}: concurrency must be a "
+                f"ConcurrencySpec, got {type(self.concurrency).__name__}"
+            )
         if self.category not in CATEGORIES:
             raise InvalidConfigurationError(
                 f"index {self.name!r}: unknown category {self.category!r}; "
@@ -318,6 +329,10 @@ register(IndexSpec(
     aliases=("rmi",),
     figures={"read": "RMI"},
     description="two-stage recursive model index (Kraska et al.)",
+    concurrency=ConcurrencySpec(
+        scheme="lock_free",
+        notes="static after build; lookups touch immutable models",
+    ),
 ))
 register(IndexSpec(
     name="RS",
@@ -326,6 +341,10 @@ register(IndexSpec(
     aliases=("rs", "radix-spline", "radixspline"),
     figures={"read": "RS"},
     description="radix table over a one-pass spline (Kipf et al.)",
+    concurrency=ConcurrencySpec(
+        scheme="lock_free",
+        notes="static after build; spline and radix table are immutable",
+    ),
 ))
 register(IndexSpec(
     name="FITing-tree-inp",
@@ -335,6 +354,10 @@ register(IndexSpec(
     figures={"write": "FITing-tree-inp"},
     default_kwargs={"strategy": "inplace"},
     description="FITing-tree with in-place leaf inserts",
+    concurrency=ConcurrencySpec(
+        scheme="global_lock",
+        notes="no CC scheme published; whole tree behind one rwlock",
+    ),
 ))
 register(IndexSpec(
     name="FITing-tree-buf",
@@ -344,6 +367,10 @@ register(IndexSpec(
     figures={"read": "FITing-tree", "write": "FITing-tree-buf"},
     default_kwargs={"strategy": "buffer"},
     description="FITing-tree with per-leaf offsite insert buffers",
+    concurrency=ConcurrencySpec(
+        scheme="global_lock",
+        notes="no CC scheme published; whole tree behind one rwlock",
+    ),
 ))
 register(IndexSpec(
     name="PGM",
@@ -352,6 +379,10 @@ register(IndexSpec(
     aliases=("pgm", "pgm-dynamic", "dynamic-pgm"),
     figures={"write": "PGM"},
     description="LSM of bounded-error PGM levels (Ferragina & Vinciguerra)",
+    concurrency=ConcurrencySpec(
+        scheme="global_lock",
+        notes="LSM carries merge into fresh levels off the read path",
+    ),
 ))
 register(IndexSpec(
     name="PGM-static",
@@ -360,6 +391,10 @@ register(IndexSpec(
     aliases=("pgm-static",),
     figures={"read": "PGM"},
     description="static bounded-error piecewise-linear PGM",
+    concurrency=ConcurrencySpec(
+        scheme="lock_free",
+        notes="static after build",
+    ),
 ))
 register(IndexSpec(
     name="ALEX",
@@ -368,6 +403,11 @@ register(IndexSpec(
     aliases=("alex",),
     figures={"read": "ALEX", "write": "ALEX"},
     description="gapped-array adaptive learned index (Ding et al.)",
+    concurrency=ConcurrencySpec(
+        scheme="global_lock",
+        retrain_blocking=True,
+        notes="ships no CC (Table I); global rwlock, node rebuilds block",
+    ),
 ))
 register(IndexSpec(
     name="XIndex",
@@ -376,6 +416,12 @@ register(IndexSpec(
     aliases=("xindex",),
     figures={"read": "XIndex", "write": "XIndex"},
     description="RMI root over groups with delta buffers (Tang et al.)",
+    concurrency=ConcurrencySpec(
+        scheme="fine_grained_latch",
+        latch_domains=64,
+        retrain_blocking=True,
+        notes="per-group latches; group merge-retrain blocks writers",
+    ),
 ))
 register(IndexSpec(
     name="BTree",
@@ -384,6 +430,11 @@ register(IndexSpec(
     aliases=("btree", "b+tree", "bplustree"),
     figures={"read": "BTree", "write": "BTree"},
     description="cache-conscious B+tree baseline",
+    concurrency=ConcurrencySpec(
+        scheme="fine_grained_latch",
+        latch_domains=256,
+        notes="latch crabbing over nodes",
+    ),
 ))
 register(IndexSpec(
     name="Skiplist",
@@ -392,6 +443,10 @@ register(IndexSpec(
     aliases=("skiplist",),
     figures={"read": "Skiplist", "write": "Skiplist"},
     description="deterministic-seeded probabilistic skip list",
+    concurrency=ConcurrencySpec(
+        scheme="lock_free",
+        notes="CAS tower links; conflicts only on the same node",
+    ),
 ))
 register(IndexSpec(
     name="Masstree",
@@ -400,6 +455,12 @@ register(IndexSpec(
     aliases=("masstree",),
     figures={"read": "Masstree", "write": "Masstree"},
     description="trie of B+trees over 8-byte key slices",
+    concurrency=ConcurrencySpec(
+        scheme="optimistic_read",
+        latch_domains=256,
+        retry_base=0.15,
+        notes="version-validated reads, per-node write latches",
+    ),
 ))
 register(IndexSpec(
     name="Bwtree",
@@ -408,6 +469,12 @@ register(IndexSpec(
     aliases=("bwtree", "bw-tree"),
     figures={"read": "Bwtree", "write": "Bwtree"},
     description="delta-chain Bw-tree with consolidation",
+    concurrency=ConcurrencySpec(
+        scheme="optimistic_read",
+        latch_domains=256,
+        retry_base=0.10,
+        notes="latch-free delta CAS on the mapping table",
+    ),
 ))
 register(IndexSpec(
     name="Wormhole",
@@ -416,6 +483,11 @@ register(IndexSpec(
     aliases=("wormhole",),
     figures={"read": "Wormhole", "write": "Wormhole"},
     description="hashed trie over sorted leaf lists",
+    concurrency=ConcurrencySpec(
+        scheme="fine_grained_latch",
+        latch_domains=256,
+        notes="per-leaf rwlocks under the hashed anchor trie",
+    ),
 ))
 register(IndexSpec(
     name="CCEH",
@@ -424,6 +496,11 @@ register(IndexSpec(
     aliases=("cceh",),
     figures={"read": "CCEH", "write": "CCEH"},
     description="cacheline-conscious extendible hashing (unsorted)",
+    concurrency=ConcurrencySpec(
+        scheme="fine_grained_latch",
+        latch_domains=1024,
+        notes="contends per segment; directory grows the domain count",
+    ),
 ))
 register(IndexSpec(
     name="LIPP",
@@ -432,6 +509,11 @@ register(IndexSpec(
     aliases=("lipp",),
     figures={"ext": "LIPP"},
     description="precise-position learned index (the paper's §V-B call)",
+    concurrency=ConcurrencySpec(
+        scheme="global_lock",
+        retrain_blocking=True,
+        notes="no CC scheme; precise-position subtree rebuilds block",
+    ),
 ))
 register(IndexSpec(
     name="APEX",
@@ -440,6 +522,11 @@ register(IndexSpec(
     aliases=("apex",),
     figures={"ext": "APEX"},
     description="PM-resident learned index, metadata-only recovery",
+    concurrency=ConcurrencySpec(
+        scheme="fine_grained_latch",
+        latch_domains=256,
+        notes="per-node locks with PM-aware SMO protocol",
+    ),
 ))
 register(IndexSpec(
     name="FINEdex",
@@ -448,6 +535,12 @@ register(IndexSpec(
     aliases=("finedex",),
     figures={"ext": "FINEdex"},
     description="level-bin fine-grained learned index",
+    concurrency=ConcurrencySpec(
+        scheme="fine_grained_latch",
+        latch_domains=128,
+        retrain_blocking=True,
+        notes="level-bin latches; level retraining blocks its bins",
+    ),
 ))
 
 __all__ = [

@@ -61,3 +61,63 @@ def test_workloads_are_deterministic():
     a = generate_operations(YCSB_A, 1000, keys, seed=5)
     b = generate_operations(YCSB_A, 1000, keys, seed=5)
     assert a == b
+
+
+# ------------------------------------------------- concurrency simulator
+
+def _sim_run(keep_schedule=True):
+    from repro.concurrency import ConcurrencySpec, OpProfile, make_streams, simulate
+
+    spec = ConcurrencySpec(
+        scheme="fine_grained_latch", latch_domains=16, retrain_blocking=True
+    )
+    profile = OpProfile(
+        mean_ns=700.0, p999_ns=2500.0, bytes_per_op=300.0,
+        retrain_every=120, retrain_stall_ns=9000.0,
+    )
+    streams = make_streams(6, 500, 0.4, seed=17)
+    result = simulate(
+        spec, profile, streams, seed=17, keep_schedule=keep_schedule
+    )
+    return result
+
+
+def test_simulator_runs_are_bit_identical():
+    """Same seed + op streams => identical event schedule, wait totals,
+    and final clock — the contract the Figs 12/14 projections rest on."""
+    a = _sim_run()
+    b = _sim_run()
+    assert a.schedule == b.schedule
+    assert a.latch_wait_ns == b.latch_wait_ns
+    assert a.retrain_stall_ns == b.retrain_stall_ns
+    assert a.makespan_ns == b.makespan_ns
+    assert a.throughput_mops == b.throughput_mops
+    assert a.counters.as_dict() == b.counters.as_dict()
+    assert (a.retries, a.retrain_stalls) == (b.retries, b.retrain_stalls)
+
+
+def test_simulator_streams_are_deterministic():
+    from repro.concurrency import make_streams
+
+    assert make_streams(4, 200, 0.3, seed=2) == make_streams(4, 200, 0.3, seed=2)
+    assert make_streams(4, 200, 0.3, seed=2) != make_streams(4, 200, 0.3, seed=3)
+
+
+def test_sharded_store_clock_is_deterministic():
+    from repro.concurrency import ShardedStore
+    from repro.registry import resolve
+
+    def once():
+        keys = ycsb_keys(4000, seed=6)
+        store = ShardedStore(resolve("btree").build, 4)
+        store.bulk_load([(k, k) for k in keys])
+        for k in keys[:500]:
+            store.get(k)
+        return (
+            store.elapsed_ns(parallel=True),
+            store.elapsed_ns(parallel=False),
+            tuple(store.shard_ops),
+            store.merged_counters().as_dict(),
+        )
+
+    assert once() == once()

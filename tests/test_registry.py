@@ -29,8 +29,9 @@ from repro.registry import (
 
 # ComposedIndex is the recombination framework, not a competitor: it has
 # no zero-argument configuration (callers supply the four dimensions), so
-# it is the one exported Index subclass without a registry spec.
-EXEMPT = {repro.ComposedIndex}
+# it has no registry spec.  ShardedIndex likewise wraps a child factory
+# across K range partitions rather than competing itself.
+EXEMPT = {repro.ComposedIndex, repro.ShardedIndex}
 
 
 def exported_index_classes():
