@@ -101,6 +101,138 @@ CASE_CONCURRENCY = {
     },
 }
 
+#: Figure label -> the registry spec behind it, per figure family — what
+#: the measured-projection branches of Figs 12/14 hand to the
+#: process-parallel engine (which builds from the spec *name* inside each
+#: worker).  Same label convention as :data:`CASE_CONCURRENCY`.
+CASE_SPECS = {
+    "read": {
+        spec.label_in("read"): spec for spec in registry_specs(figure="read")
+    },
+    "write": {name: resolve(name) for name in CONCURRENT_WRITE_CASE},
+}
+
+
+def case_overrides(name: str) -> dict:
+    """Benchmark-local constructor overrides for one figure label."""
+    return dict(_TUNING.get(name, {}))
+
+
+#: Worker counts for the measured (real-process) scaling runs.  Shorter
+#: than the projection's THREADS tuple on purpose: each point builds K
+#: real indexes in K real processes, and past the machine's core count
+#: the measurement only re-measures scheduler thrash.
+MEASURED_THREADS = (1, 2, 4)
+
+
+def baseline_workload(table_key: str, seed: int):
+    """The ``(load_items, ops)`` the per-family baselines measure.
+
+    Shared by :func:`measure_baseline` (in-process, simulated clock) and
+    :func:`measured_scaling_curves` (real worker processes, wall clock)
+    so the measured-vs-sim comparison runs the *same* operations.
+    """
+    from repro.workloads import READ_ONLY, WRITE_ONLY, generate_operations
+    from repro.workloads.ycsb import split_load_and_inserts
+
+    keys = dataset("ycsb", SMALL_N)
+    if table_key == "read":
+        load, insert_pool = list(keys), None
+        ops = generate_operations(READ_ONLY, N_OPS, load, seed=seed)
+    else:
+        load, insert_pool = split_load_and_inserts(keys, 0.5, seed=seed)
+        ops = generate_operations(
+            WRITE_ONLY, len(insert_pool) - 1, load, insert_pool, seed=seed
+        )
+    return load, ops
+
+
+def measured_scaling_curves(
+    table_key: str, measured, threads=MEASURED_THREADS, seed: int = 0
+) -> dict:
+    """Measured wall-clock scaling per figure label: the real engine.
+
+    For each index in ``measured`` (the :func:`measure_baselines` output)
+    runs the process-parallel engine
+    (:func:`repro.concurrency.parallel.measure_scaling`) over the same
+    workload at each worker count.  These are wall-clock numbers on this
+    machine — the ground truth the sim/analytic projections are validated
+    against — so absolute values vary per host; the comparison tables
+    focus on scaling shape.
+    """
+    from repro.concurrency.parallel import measure_scaling
+
+    load, ops = baseline_workload(table_key, seed)
+    items = [(k, k) for k in load]
+    return {
+        m["name"]: measure_scaling(
+            CASE_SPECS[table_key][m["name"]],
+            items,
+            ops,
+            threads,
+            batch_size=2048,
+            overrides=case_overrides(m["name"]),
+        )
+        for m in measured
+    }
+
+
+def comparison_rows(meas_curves, sim_curves, analytic_curves) -> list:
+    """Aligned measured/sim/analytic rows, one per (index, worker count)."""
+    rows = []
+    for name, mrows in meas_curves.items():
+        sim_by_t = {p["threads"]: p for p in sim_curves[name]}
+        ana_by_t = {p["threads"]: p for p in analytic_curves[name]}
+        for p in mrows:
+            t = p["threads"]
+            rows.append(
+                {
+                    "index": name,
+                    "threads": t,
+                    "measured_mops": p["throughput_mops"],
+                    "sim_mops": sim_by_t[t]["throughput_mops"],
+                    "analytic_mops": ana_by_t[t]["throughput_mops"],
+                    "measured_vs_sim": (
+                        p["throughput_mops"] / sim_by_t[t]["throughput_mops"]
+                    ),
+                    "measured_speedup": (
+                        p["throughput_mops"]
+                        / meas_curves[name][0]["throughput_mops"]
+                    ),
+                }
+            )
+    return rows
+
+
+def comparison_table(rows, title: str) -> str:
+    """Render :func:`comparison_rows` output as an aligned text table."""
+    from repro.bench import format_table
+
+    return format_table(
+        [
+            "index",
+            "workers",
+            "measured Mops/s",
+            "sim Mops/s",
+            "analytic Mops/s",
+            "meas/sim",
+            "meas speedup",
+        ],
+        [
+            [
+                r["index"],
+                r["threads"],
+                f"{r['measured_mops']:.3f}",
+                f"{r['sim_mops']:.2f}",
+                f"{r['analytic_mops']:.2f}",
+                f"{r['measured_vs_sim']:.3f}",
+                f"{r['measured_speedup']:.2f}x",
+            ]
+            for r in rows
+        ],
+        title=title,
+    )
+
 
 # ---------------------------------------------------------------- datasets
 
@@ -144,6 +276,26 @@ def pool_workers(jobs: int) -> int:
     return max(1, min(jobs, os.cpu_count() or 1))
 
 
+def pool_map(fn, items, jobs: int = 1) -> list:
+    """``[fn(item) for item in items]``, fanned across ``jobs`` processes.
+
+    The one process-pool fan-out every benchmark module shares (the Fig
+    12/13/14 baselines and ``run_all`` all route through here): ``fn``
+    must be a picklable top-level callable.  Results come back in
+    ``items`` order regardless of which worker finished first, and with
+    ``jobs == 1`` (or a single item) no pool is spawned at all — the
+    degenerate case stays a plain comprehension for clean tracebacks.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    items = list(items)
+    workers = pool_workers(jobs)
+    if workers > 1 and len(items) > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+    return [fn(item) for item in items]
+
+
 def measure_baseline(case: Tuple[str, str], seed: int = 0) -> dict:
     """Single-thread profile of one index under one figure family.
 
@@ -157,20 +309,10 @@ def measure_baseline(case: Tuple[str, str], seed: int = 0) -> dict:
     """
     from repro.bench import run_store_ops
     from repro.perf import CostModel
-    from repro.workloads import READ_ONLY, WRITE_ONLY, generate_operations
-    from repro.workloads.ycsb import split_load_and_inserts
 
     table_key, name = case
     factory = BASELINE_CASES[table_key][name]
-    keys = dataset("ycsb", SMALL_N)
-    if table_key == "read":
-        load, insert_pool = list(keys), None
-        ops = generate_operations(READ_ONLY, N_OPS, load, seed=seed)
-    else:
-        load, insert_pool = split_load_and_inserts(keys, 0.5, seed=seed)
-        ops = generate_operations(
-            WRITE_ONLY, len(insert_pool) - 1, load, insert_pool, seed=seed
-        )
+    load, ops = baseline_workload(table_key, seed)
     store, perf = loaded_store(factory, load)
     recorder, bytes_per_op = run_store_ops(store, ops, perf)
     stats = store.index.stats()
@@ -199,14 +341,9 @@ def measure_baselines(table_key: str, seed: int, jobs: int = 1) -> list:
     list order (and therefore every emitted curve and result file) is
     the registry presentation order.
     """
-    from concurrent.futures import ProcessPoolExecutor
+    from functools import partial
 
     cases = [(table_key, name) for name in BASELINE_CASES[table_key]]
-    workers = pool_workers(jobs)
-    if workers > 1 and len(cases) > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            measured = list(pool.map(measure_baseline, cases, [seed] * len(cases)))
-    else:
-        measured = [measure_baseline(case, seed) for case in cases]
+    measured = pool_map(partial(measure_baseline, seed=seed), cases, jobs)
     order = {name: i for i, name in enumerate(BASELINE_CASES[table_key])}
     return sorted(measured, key=lambda m: order[m["name"]])

@@ -24,7 +24,15 @@ in parallel worker processes (output order stays registry order).
 
 import argparse
 
-from _common import CASE_CONCURRENCY, measure_baselines, run_once
+from _common import (
+    CASE_CONCURRENCY,
+    MEASURED_THREADS,
+    comparison_rows,
+    comparison_table,
+    measure_baselines,
+    measured_scaling_curves,
+    run_once,
+)
 from repro.bench import format_table, thread_scaling, write_result
 
 THREADS = (1, 2, 4, 8, 16, 24, 32)
@@ -85,6 +93,24 @@ def _render(curves, projection: str):
 
 def run_multithread_read(jobs: int = 1, projection: str = "sim"):
     measured = measure_baselines("read", SEED, jobs=jobs)
+    if projection == "measured":
+        # Real worker processes, wall clock — then the sim and analytic
+        # projections at the same worker counts, row-aligned, so the
+        # table reads as one validation: does the projected scaling
+        # shape match what the machine actually does?
+        meas = measured_scaling_curves("read", measured, seed=SEED)
+        rows = comparison_rows(
+            meas,
+            project_read_curves(measured, "sim"),
+            project_read_curves(measured, "analytic"),
+        )
+        table = comparison_table(
+            rows,
+            "Fig 12 — measured vs sim vs analytic read scaling "
+            f"(measured = real processes at {MEASURED_THREADS} workers, "
+            "wall-clock on this host)",
+        )
+        return table, {"measured": meas, "comparison": rows}
     curves = project_read_curves(measured, projection)
     return _render(curves, projection), curves
 
@@ -140,8 +166,11 @@ if __name__ == "__main__":
         help="worker processes for the per-index baseline measurements",
     )
     parser.add_argument(
-        "--projection", choices=("sim", "analytic"), default="sim",
-        help="concurrency simulator (sim) or closed-form bandwidth curve",
+        "--projection", choices=("sim", "analytic", "measured"),
+        default="sim",
+        help="concurrency simulator (sim), closed-form bandwidth curve "
+        "(analytic), or real worker processes with a side-by-side "
+        "sim/analytic comparison (measured)",
     )
     args = parser.parse_args()
     table, curves = run_multithread_read(

@@ -12,7 +12,6 @@ clock), like the multithread figures do.
 """
 
 import argparse
-from concurrent.futures import ProcessPoolExecutor
 
 from _common import (
     SIZE_LABELS,
@@ -21,7 +20,7 @@ from _common import (
     WRITE_CASE,
     dataset,
     loaded_store,
-    pool_workers,
+    pool_map,
     run_once,
 )
 from repro.bench import BenchResult, format_table, run_store_ops, write_result
@@ -48,12 +47,7 @@ def run_writeonly(jobs: int = 1):
     cells = [
         (n, name) for n in (SMALL_N, LARGE_N) for name in WRITE_CASE
     ]
-    workers = pool_workers(jobs)
-    if workers > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            measured = list(pool.map(_measure_cell, cells))
-    else:
-        measured = [_measure_cell(cell) for cell in cells]
+    measured = pool_map(_measure_cell, cells, jobs)
     rows = []
     results = {}
     for n, name, result in measured:

@@ -18,7 +18,15 @@ per-index measurements out over worker processes.
 
 import argparse
 
-from _common import CASE_CONCURRENCY, measure_baselines, run_once
+from _common import (
+    CASE_CONCURRENCY,
+    MEASURED_THREADS,
+    comparison_rows,
+    comparison_table,
+    measure_baselines,
+    measured_scaling_curves,
+    run_once,
+)
 from repro.bench import format_table, thread_scaling, write_result
 
 THREADS = (1, 2, 4, 8, 16, 24, 32)
@@ -78,6 +86,23 @@ def _render(curves, projection: str):
 
 def run_multithread_write(jobs: int = 1, projection: str = "sim"):
     measured = measure_baselines("write", SEED, jobs=jobs)
+    if projection == "measured":
+        # Same validation table as Fig 12's measured branch, over the
+        # write-only workload: real engines (each worker really absorbs
+        # its partition's inserts) against the sim/analytic projections.
+        meas = measured_scaling_curves("write", measured, seed=SEED)
+        rows = comparison_rows(
+            meas,
+            project_write_curves(measured, "sim"),
+            project_write_curves(measured, "analytic"),
+        )
+        table = comparison_table(
+            rows,
+            "Fig 14 — measured vs sim vs analytic write scaling "
+            f"(measured = real processes at {MEASURED_THREADS} workers, "
+            "wall-clock on this host)",
+        )
+        return table, {"measured": meas, "comparison": rows}
     curves = project_write_curves(measured, projection)
     return _render(curves, projection), curves
 
@@ -130,8 +155,11 @@ if __name__ == "__main__":
         help="worker processes for the per-index baseline measurements",
     )
     parser.add_argument(
-        "--projection", choices=("sim", "analytic"), default="sim",
-        help="concurrency simulator (sim) or closed-form bandwidth curve",
+        "--projection", choices=("sim", "analytic", "measured"),
+        default="sim",
+        help="concurrency simulator (sim), closed-form bandwidth curve "
+        "(analytic), or real worker processes with a side-by-side "
+        "sim/analytic comparison (measured)",
     )
     args = parser.parse_args()
     table, curves = run_multithread_write(

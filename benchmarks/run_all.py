@@ -20,7 +20,6 @@ import io
 import os
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
 
 MODULES = [
     "bench_table1_capabilities",
@@ -32,6 +31,7 @@ MODULES = [
     "bench_fig13_writeonly",
     "bench_fig14_multithread_write",
     "bench_concurrency",
+    "bench_parallel",
     "bench_fig15_mixed",
     "bench_fig16_recovery",
     "bench_fig17a_approximation",
@@ -130,14 +130,14 @@ def main() -> int:
     ]
     ran = 0
     t0 = time.time()
-    workers = max(1, min(args.jobs, os.cpu_count() or 1))
-    if workers > 1 and len(selected) > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for _name, output, count in pool.map(
-                _execute_module_captured, selected
-            ):
-                sys.stdout.write(output)
-                ran += count
+    if args.jobs > 1 and len(selected) > 1:
+        from _common import pool_map
+
+        for _name, output, count in pool_map(
+            _execute_module_captured, selected, args.jobs
+        ):
+            sys.stdout.write(output)
+            ran += count
     else:
         for module_name in selected:
             ran += _execute_module(module_name)

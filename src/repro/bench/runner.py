@@ -332,10 +332,11 @@ def thread_scaling(
     retrain_stall_ns: float = 0.0,
     ops_per_thread: int = 800,
     seed: int = 0,
+    measured_runner: Optional[Callable[[Sequence[int]], List[dict]]] = None,
 ) -> List[dict]:
     """Project single-thread results onto N workers (Figs 12 and 14).
 
-    Two projections are available:
+    Three projections are available:
 
     * ``projection="analytic"`` — the closed-form bandwidth model: N
       workers share only the socket's memory-bandwidth pool.  This is
@@ -348,18 +349,33 @@ def thread_scaling(
       :class:`~repro.concurrency.spec.ConcurrencySpec`) on top of the
       same bandwidth pool.  Rows gain ``latch_wait_share``,
       ``retrain_stall_share``, ``retries``, and ``retrain_stalls``.
+    * ``projection="measured"`` — no model at all: ``measured_runner``
+      (typically a closure over
+      :func:`repro.concurrency.parallel.measure_scaling`) runs the real
+      process-parallel engine at each worker count and returns
+      wall-clock rows.  This is the closed-loop validation of the other
+      two projections; the CLI and Fig 12/14 benchmarks print its rows
+      side by side with the simulated ones.
 
-    Both projections emit ``gil_thread_mops`` — **thread-based** scaling
+    The model-based projections emit ``gil_thread_mops`` — **thread-based** scaling
     inside one CPython interpreter, where the GIL serialises the index
     code so aggregate throughput is pinned at the single-thread rate
     (minus a small handoff overhead once more than one thread contends).
     The gap between that column and the others is the reason the
     real-time benchmark harness uses processes, not threads.
     """
-    if projection not in ("analytic", "sim"):
+    if projection not in ("analytic", "sim", "measured"):
         raise ValueError(
-            f"unknown projection {projection!r}; one of ('analytic', 'sim')"
+            f"unknown projection {projection!r}; "
+            f"one of ('analytic', 'sim', 'measured')"
         )
+    if projection == "measured":
+        if measured_runner is None:
+            raise ValueError(
+                "projection='measured' needs a measured_runner callable "
+                "(see repro.concurrency.parallel.measure_scaling)"
+            )
+        return measured_runner(threads)
     rows = []
     if projection == "analytic":
         for t in threads:

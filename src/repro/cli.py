@@ -17,10 +17,16 @@ from __future__ import annotations
 import argparse
 import random
 import sys
+import time
 
 from repro import PerfContext, ViperStore, registry
 from repro.bench import format_table, run_store_ops, thread_scaling
-from repro.concurrency import ShardedStore
+from repro.concurrency import (
+    ParallelShardedStore,
+    ShardedStore,
+    parallel_sharded_store,
+)
+from repro.concurrency.parallel import measure_scaling
 from repro.obs import (
     EventType,
     JsonlTraceSink,
@@ -109,8 +115,20 @@ def _parse_threads(text: str) -> list:
     return counts
 
 
-def _build_store(spec, perf, shards: int):
-    """One ViperStore, or K of them behind the sharded router."""
+def _build_store(spec, perf, shards: int, workers: int = 1, trace_rate: float = 0.0):
+    """One ViperStore, K in-process shards, or N worker processes.
+
+    ``--workers N`` builds the process-parallel engine
+    (:mod:`repro.concurrency.parallel`): N worker processes, each owning
+    one range partition (``--shards K > N`` sub-shards inside workers).
+    Simulated charges still land on ``perf`` — workers ship their
+    counter deltas back with every reply — so the report below is
+    unchanged; wall-clock rows are what the extra processes buy.
+    """
+    if workers > 1:
+        return parallel_sharded_store(
+            spec, workers, shards=shards, perf=perf, trace_rate=trace_rate
+        )
     if shards > 1:
         return ShardedStore(spec.build, shards, perf=perf)
     return ViperStore(spec.build(perf), perf)
@@ -124,22 +142,50 @@ def _retrain_profile(store, ops_run: int) -> tuple:
     """
     from repro.perf.cost_model import CostModel
 
-    stores = store.stores if isinstance(store, ShardedStore) else [store]
-    count = keys = 0
-    for child in stores:
-        stats = child.index.stats()
-        count += stats.retrain_count
-        keys += stats.retrain_keys
+    if isinstance(store, ParallelShardedStore):
+        stats = store.stats()
+        count, keys = stats.retrain_count, stats.retrain_keys
+    else:
+        stores = store.stores if isinstance(store, ShardedStore) else [store]
+        count = keys = 0
+        for child in stores:
+            stats = child.index.stats()
+            count += stats.retrain_count
+            keys += stats.retrain_keys
     if count == 0 or ops_run == 0:
         return 0, 0.0
     stall_ns = (keys / count) * CostModel().retrain_key_ns
     return max(1, ops_run // count), stall_ns
 
 
-def _scaling_table(spec, workload, recorder, bytes_per_op, args, store) -> str:
+def _scaling_table(
+    spec,
+    workload,
+    recorder,
+    bytes_per_op,
+    args,
+    store,
+    load=None,
+    ops=None,
+    retrain=None,
+) -> str:
     """Project the measured single-thread profile onto ``--threads``."""
     write_fraction = workload.update + workload.insert + workload.rmw
-    retrain_every, retrain_stall_ns = _retrain_profile(store, len(recorder))
+    retrain_every, retrain_stall_ns = retrain or _retrain_profile(
+        store, len(recorder)
+    )
+    measured_runner = None
+    if args.projection == "measured":
+
+        def measured_runner(thread_counts):
+            return measure_scaling(
+                spec,
+                [(k, k) for k in load],
+                ops,
+                thread_counts,
+                batch_size=max(args.batch_size, 512),
+            )
+
     rows = thread_scaling(
         recorder.mean(),
         recorder.p999(),
@@ -151,7 +197,32 @@ def _scaling_table(spec, workload, recorder, bytes_per_op, args, store) -> str:
         retrain_every=retrain_every,
         retrain_stall_ns=retrain_stall_ns,
         seed=args.seed,
+        measured_runner=measured_runner,
     )
+    if args.projection == "measured":
+        body = [
+            [
+                r["threads"],
+                f"{r['throughput_mops']:.3f}",
+                f"{r['wall_s']:.2f}",
+                f"{r['mean_ns']:.0f}",
+                f"{r['p999_ns']:.0f}",
+                f"{min(r['utilization']):.0%}..{max(r['utilization']):.0%}",
+            ]
+            for r in rows
+        ]
+        return format_table(
+            [
+                "workers",
+                "Mops/s",
+                "wall s",
+                "mean ns",
+                "p99.9 ns",
+                "worker util",
+            ],
+            body,
+            title="Worker scaling (measured wall-clock, real processes)",
+        )
     if args.projection == "sim":
         body = [
             [
@@ -208,6 +279,21 @@ def _shard_balance_table(store: ShardedStore) -> str:
     )
 
 
+def _worker_balance_table(store: ParallelShardedStore) -> str:
+    total = sum(store.worker_ops) or 1
+    util = store.worker_utilization()
+    body = [
+        [w, f"{ops:,}", f"{100 * ops / total:.1f}%", f"{util[w]:.0%}"]
+        for w, ops in enumerate(store.worker_ops)
+    ]
+    return format_table(
+        ["worker", "ops routed", "share", "busy share"],
+        body,
+        title=f"Worker balance ({store.workers} processes, "
+        f"{store.shards} range partitions)",
+    )
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     try:
         spec = registry.resolve(args.index)
@@ -233,45 +319,75 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
 
     perf = PerfContext()
-    store = _build_store(spec, perf, args.shards)
-    mark = perf.begin()
-    store.bulk_load([(k, k) for k in load])
-    build_ns = perf.end(mark).time_ns
-    progress = (
-        ProgressReporter(total=len(ops), every=max(1, len(ops) // 20))
-        if args.progress
-        else None
-    )
-    recorder, bytes_per_op = run_store_ops(
-        store, ops, perf, batch_size=args.batch_size, progress=progress
-    )
-
-    print(
-        format_table(
-            ["metric", "value"],
-            [
-                ["index", spec.name],
-                ["workload", workload.name],
-                ["batch size", args.batch_size],
-                ["shards", args.shards],
-                ["dataset", f"{args.dataset} ({len(load):,} loaded keys)"],
-                ["operations", f"{len(recorder):,}"],
-                ["build (sim ms)", f"{build_ns / 1e6:.2f}"],
-                ["throughput (sim Mops/s)", f"{recorder.throughput_mops():.3f}"],
-                ["mean latency (sim ns)", f"{recorder.mean():.0f}"],
-                ["p50 (sim ns)", f"{recorder.p50():.0f}"],
-                ["p99.9 (sim ns)", f"{recorder.p999():.0f}"],
-                ["bytes/op", f"{bytes_per_op:.0f}"],
-            ],
-            title="Benchmark result (simulated hardware)",
+    store = _build_store(spec, perf, args.shards, args.workers)
+    parallel = isinstance(store, ParallelShardedStore)
+    try:
+        mark = perf.begin()
+        store.bulk_load([(k, k) for k in load])
+        build_ns = perf.end(mark).time_ns
+        progress = (
+            ProgressReporter(total=len(ops), every=max(1, len(ops) // 20))
+            if args.progress
+            else None
         )
-    )
-    if args.shards > 1:
-        print()
-        print(_shard_balance_table(store))
-    if args.threads:
-        print()
-        print(_scaling_table(spec, workload, recorder, bytes_per_op, args, store))
+        wall_start = time.perf_counter()
+        recorder, bytes_per_op = run_store_ops(
+            store, ops, perf, batch_size=args.batch_size, progress=progress
+        )
+        wall_s = time.perf_counter() - wall_start
+
+        body = [
+            ["index", spec.name],
+            ["workload", workload.name],
+            ["batch size", args.batch_size],
+            ["shards", args.shards],
+            ["dataset", f"{args.dataset} ({len(load):,} loaded keys)"],
+            ["operations", f"{len(recorder):,}"],
+            ["build (sim ms)", f"{build_ns / 1e6:.2f}"],
+            ["throughput (sim Mops/s)", f"{recorder.throughput_mops():.3f}"],
+            ["mean latency (sim ns)", f"{recorder.mean():.0f}"],
+            ["p50 (sim ns)", f"{recorder.p50():.0f}"],
+            ["p99.9 (sim ns)", f"{recorder.p999():.0f}"],
+            ["bytes/op", f"{bytes_per_op:.0f}"],
+        ]
+        if parallel:
+            body.insert(4, ["workers", args.workers])
+            body.append(
+                [
+                    "throughput (wall Mops/s)",
+                    f"{len(recorder) / wall_s / 1e6:.3f}",
+                ]
+            )
+        print(
+            format_table(
+                ["metric", "value"],
+                body,
+                title="Benchmark result (simulated hardware)",
+            )
+        )
+        if parallel:
+            print()
+            print(_worker_balance_table(store))
+        elif args.shards > 1:
+            print()
+            print(_shard_balance_table(store))
+        if args.threads:
+            print()
+            print(
+                _scaling_table(
+                    spec,
+                    workload,
+                    recorder,
+                    bytes_per_op,
+                    args,
+                    store,
+                    load=load,
+                    ops=ops,
+                )
+            )
+    finally:
+        if parallel:
+            store.close()
     return 0
 
 
@@ -314,20 +430,36 @@ def cmd_report(args: argparse.Namespace) -> int:
         else None
     )
 
-    store = _build_store(spec, perf, args.shards)
-    mark = perf.begin()
-    store.bulk_load([(k, k) for k in load])
-    build_ns = perf.end(mark).time_ns
-    result = run_store_ops(
-        store,
-        ops,
-        perf,
-        profiler=profiler,
-        batch_size=args.batch_size,
-        metrics=metrics,
-        progress=progress,
+    store = _build_store(
+        spec, perf, args.shards, args.workers, trace_rate=args.sample
     )
-    recorder = result.recorder
+    parallel = isinstance(store, ParallelShardedStore)
+    try:
+        mark = perf.begin()
+        store.bulk_load([(k, k) for k in load])
+        build_ns = perf.end(mark).time_ns
+        result = run_store_ops(
+            store,
+            ops,
+            perf,
+            profiler=profiler,
+            batch_size=args.batch_size,
+            metrics=metrics,
+            progress=progress,
+        )
+        recorder = result.recorder
+        if parallel:
+            # Fold worker-side lifecycle events, metric series, and
+            # profiler ledgers into the parent's instruments before any
+            # of them are summarised below.
+            store.drain_obs(tracer=tracer, metrics=metrics, profiler=profiler)
+            index_stats = store.stats()
+        else:
+            index_stats = store.index.stats() if args.shards == 1 else None
+        retrain = _retrain_profile(store, len(recorder))
+    finally:
+        if parallel:
+            store.close()
 
     scaling_text = ""
     if args.threads:
@@ -337,9 +469,7 @@ def cmd_report(args: argparse.Namespace) -> int:
             from repro.concurrency import OpProfile, simulate_scaling
 
             write_fraction = workload.update + workload.insert + workload.rmw
-            retrain_every, retrain_stall_ns = _retrain_profile(
-                store, len(recorder)
-            )
+            retrain_every, retrain_stall_ns = retrain
             results = simulate_scaling(
                 spec.concurrency,
                 OpProfile(
@@ -379,7 +509,15 @@ def cmd_report(args: argparse.Namespace) -> int:
             )
         else:
             scaling_text = _scaling_table(
-                spec, workload, recorder, result.bytes_per_op, args, store
+                spec,
+                workload,
+                recorder,
+                result.bytes_per_op,
+                args,
+                store,
+                load=load,
+                ops=ops,
+                retrain=retrain,
             )
     if sink is not None:
         sink.close()
@@ -443,11 +581,14 @@ def cmd_report(args: argparse.Namespace) -> int:
         )
     )
 
-    if args.shards > 1:
+    if parallel:
+        print()
+        print(_worker_balance_table(store))
+    elif args.shards > 1:
         print()
         print(_shard_balance_table(store))
-    else:
-        stats = store.index.stats()
+    if index_stats is not None:
+        stats = index_stats
         print()
         print(
             format_table(
@@ -520,6 +661,14 @@ def _add_concurrency_flags(sub_parser: argparse.ArgumentParser) -> None:
         "(each shard owns its own index instance)",
     )
     sub_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="serve through N real worker processes (one range partition "
+        "each, shared-memory op transport); simulated numbers are "
+        "unchanged, wall-clock throughput scales with cores",
+    )
+    sub_parser.add_argument(
         "--threads",
         type=_parse_threads,
         default=[],
@@ -528,10 +677,11 @@ def _add_concurrency_flags(sub_parser: argparse.ArgumentParser) -> None:
     )
     sub_parser.add_argument(
         "--projection",
-        choices=("analytic", "sim"),
+        choices=("analytic", "sim", "measured"),
         default="sim",
         help="thread-scaling model: the discrete-event concurrency "
-        "simulator (sim) or the closed-form bandwidth curve (analytic)",
+        "simulator (sim), the closed-form bandwidth curve (analytic), or "
+        "the real process-parallel engine at each count (measured)",
     )
 
 

@@ -13,6 +13,10 @@ and range-partitioned sharding.
   :class:`ShardedIndex`, and :class:`ShardedStore`: run any registry
   spec across K range-partitioned shards with per-shard perf contexts,
   bit-identically to the unsharded instance.
+* :mod:`repro.concurrency.parallel` — :class:`ParallelShardedIndex` and
+  :class:`ParallelShardedStore`: the same partition executed across
+  worker *processes* with shared-memory op transport, turning the
+  simulated scaling projections into measured wall-clock numbers.
 """
 
 from repro.concurrency.spec import (
@@ -36,6 +40,14 @@ from repro.concurrency.sharding import (
     SortedShardedIndex,
     sharded_index,
 )
+from repro.concurrency.parallel import (
+    ParallelShardedIndex,
+    ParallelShardedStore,
+    ParallelSortedShardedIndex,
+    measure_scaling,
+    parallel_sharded_index,
+    parallel_sharded_store,
+)
 
 __all__ = [
     "CC_SCHEMES",
@@ -53,4 +65,10 @@ __all__ = [
     "ShardedStore",
     "SortedShardedIndex",
     "sharded_index",
+    "ParallelShardedIndex",
+    "ParallelShardedStore",
+    "ParallelSortedShardedIndex",
+    "measure_scaling",
+    "parallel_sharded_index",
+    "parallel_sharded_store",
 ]

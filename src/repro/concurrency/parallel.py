@@ -1,0 +1,1066 @@
+"""Process-parallel sharded serving engine: one worker process per shard.
+
+The in-process :class:`~repro.concurrency.sharding.ShardedIndex` proves
+the range-partitioning semantics but runs every shard on one interpreter
+— the GIL means K shards never buy wall-clock throughput.  This module
+executes the same partition across CPU cores: a persistent pool of
+worker processes, each owning one range partition of the key space,
+built **inside** the worker from a registry spec name (nothing large is
+ever pickled), serving batched op vectors shipped through
+``multiprocessing.shared_memory``-backed numpy uint64 arrays.
+
+Transport
+---------
+Per worker, one shared-memory segment holds three views: a uint64 key
+vector, a uint64 value vector, and a uint8 found-mask.  A ``get_many``
+scatters keys by shard (one vectorized ``searchsorted`` + stable argsort,
+so in-shard order — and therefore duplicate semantics and simulated
+charges — match the in-process scatter exactly), writes each worker's
+slice into its segment, and gathers values back in key order.  Values
+that are not uint64-encodable (strings, tuples) fall back to the pipe
+for that reply; hosts without ``shared_memory`` fall back to pipe
+transport entirely (``transport="pipe"``).
+
+Two clocks
+----------
+The engine keeps the repo's simulated-hardware accounting intact: every
+worker brackets each command with ``perf.begin()/end()`` and ships the
+:class:`~repro.perf.events.Counters` delta back with the reply; the
+parent folds it into its own :class:`~repro.perf.context.PerfContext`
+**before** the caller's ``perf.end``.  ``execute_ops``, ``repro bench``,
+and ``repro report`` therefore report the same simulated numbers as the
+shared-perf in-process sharding — while :attr:`wall_recorder` and
+:func:`measure_scaling` measure real wall-clock, which is the number
+that improves as workers are added on a multi-core host.
+
+Observability
+-------------
+Each worker runs its own :class:`~repro.obs.trace.Tracer`,
+:class:`~repro.obs.metrics.MetricsRegistry`, and
+:class:`~repro.perf.breakdown.Profiler`; :meth:`drain_obs` ships them
+back and merges into parent-side instances (``Tracer.absorb``,
+``MetricsRegistry.merge_from``, ``Profiler.absorb``) so ``repro report
+--workers K`` shows one unified lifecycle/metrics view.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+import weakref
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover
+    _shm = None
+
+from repro.concurrency.sharding import (
+    ShardRouter,
+    ShardedStore,
+    merge_index_stats,
+    sharded_index,
+)
+from repro.core.interfaces import Index, IndexStats, SortedIndex
+from repro.errors import ReproError, WorkerDiedError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.perf.breakdown import Profiler
+from repro.perf.context import PerfContext
+from repro.perf.latency import LatencyRecorder
+
+#: Max keys per worker per shipment; larger batches are macro-chunked.
+#: 2^16 entries keep a segment at ~1.1 MB (8+8+1 bytes per slot).
+DEFAULT_CAPACITY = 1 << 16
+
+_U64_MAX = 1 << 64
+
+
+# ------------------------------------------------------------ shm layout
+
+
+class _Segment:
+    """Numpy views over one worker's shared-memory op buffers."""
+
+    def __init__(self, shm, capacity: int):
+        self.shm = shm
+        self.capacity = capacity
+        buf = shm.buf
+        self.keys = np.frombuffer(buf, dtype=np.uint64, count=capacity)
+        self.vals = np.frombuffer(
+            buf, dtype=np.uint64, count=capacity, offset=8 * capacity
+        )
+        self.mask = np.frombuffer(
+            buf, dtype=np.uint8, count=capacity, offset=16 * capacity
+        )
+
+    def release(self) -> None:
+        """Drop the numpy views so the mapping can be closed."""
+        self.keys = self.vals = self.mask = None
+
+    @staticmethod
+    def nbytes(capacity: int) -> int:
+        return 17 * capacity
+
+
+def _encode_values(values: Sequence[Any], seg: _Segment) -> bool:
+    """Write ``values`` into ``seg.vals``/``seg.mask``; False if any value
+    is not uint64-encodable (caller falls back to the pipe)."""
+    vals, mask = seg.vals, seg.mask
+    for i, v in enumerate(values):
+        if v is None:
+            vals[i] = 0
+            mask[i] = 0
+        elif type(v) is int and 0 <= v < _U64_MAX:
+            vals[i] = v
+            mask[i] = 1
+        else:
+            return False
+    return True
+
+
+def _items_encodable(values: Sequence[Any]) -> bool:
+    return all(type(v) is int and 0 <= v < _U64_MAX for v in values)
+
+
+# ------------------------------------------------------------ worker side
+
+
+class _WorkerState:
+    """Everything one worker process owns: its shard, perf, obs."""
+
+    def __init__(self, cfg: dict):
+        from repro.registry import resolve  # deferred: avoids import cycle
+
+        self.worker_id = cfg["worker"]
+        self.perf = PerfContext()
+        self.tracer: Optional[Tracer] = None
+        if cfg["trace_rate"] > 0.0:
+            self.tracer = Tracer(
+                rate=cfg["trace_rate"], seed=cfg["seed"] + self.worker_id
+            )
+            self.perf.tracer = self.tracer
+        self.metrics = MetricsRegistry()
+        self.profiler = Profiler(self.perf)
+
+        spec = resolve(cfg["spec"])
+        overrides = cfg["overrides"]
+
+        def factory(ctx: PerfContext) -> Index:
+            return spec.build(ctx, **overrides)
+
+        sub_shards = cfg["sub_shards"]
+        if cfg["store"]:
+            if sub_shards > 1:
+                self.target: Any = ShardedStore(
+                    factory,
+                    sub_shards,
+                    perf=self.perf,
+                    record_bytes=cfg["record_bytes"],
+                    slots_per_page=cfg["slots_per_page"],
+                )
+            else:
+                from repro.store.viper import ViperStore
+
+                self.target = ViperStore(
+                    factory(self.perf),
+                    self.perf,
+                    record_bytes=cfg["record_bytes"],
+                    slots_per_page=cfg["slots_per_page"],
+                )
+        else:
+            if sub_shards > 1:
+                self.target = sharded_index(factory, sub_shards, perf=self.perf)
+            else:
+                self.target = factory(self.perf)
+
+        self.seg: Optional[_Segment] = None
+        if cfg["shm_name"] is not None and _shm is not None:
+            shm = _shm.SharedMemory(name=cfg["shm_name"])
+            # Under spawn, attaching registers the segment with the
+            # worker's own resource tracker, which would unlink it when
+            # the worker exits; unregister — the parent owns the unlink.
+            # Under fork the tracker process is shared with the parent,
+            # so the attach-side registration is a no-op and unregistering
+            # would strip the parent's entry instead.
+            if cfg["start_method"] != "fork":
+                try:  # pragma: no cover - tracker internals vary
+                    from multiprocessing import resource_tracker
+
+                    resource_tracker.unregister(shm._name, "shared_memory")
+                except Exception:
+                    pass
+            self.seg = _Segment(shm, cfg["capacity"])
+
+        self.pending_items: List[Tuple[int, Any]] = []
+
+    # -- command handlers ---------------------------------------------
+
+    def _shm_items(self, n: int) -> List[Tuple[int, int]]:
+        keys = self.seg.keys[:n].tolist()
+        vals = self.seg.vals[:n].tolist()
+        return list(zip(keys, vals))
+
+    def _reply_values(self, values: List[Any], n: int):
+        """Prefer the shm vector for uint64 replies; else pickle them."""
+        if self.seg is not None and n <= self.seg.capacity:
+            if _encode_values(values, self.seg):
+                return ("shm", n)
+        return ("obj", values)
+
+    def _stats(self) -> IndexStats:
+        target = self.target
+        if isinstance(target, ShardedStore):
+            return merge_index_stats(
+                [s.index.stats() for s in target.stores],
+                [len(s) for s in target.stores],
+            )
+        if hasattr(target, "index"):  # plain ViperStore
+            return target.index.stats()
+        return target.stats()
+
+    def serve(self, cmd: tuple):
+        """Dispatch one command tuple; returns the reply meta."""
+        op = cmd[0]
+        if op == "get_many":
+            keys = self.seg.keys[: cmd[1]].tolist()
+            return self._reply_values(self.target.get_many(keys), len(keys))
+        if op == "get_many_pipe":
+            return ("obj", self.target.get_many(cmd[1]))
+        if op == "write_many":
+            _, n, mode = cmd
+            return self._write(self._shm_items(n), mode)
+        if op == "write_many_pipe":
+            _, items, mode = cmd
+            return self._write(items, mode)
+        if op == "bulk_chunk":
+            self.pending_items.extend(self._shm_items(cmd[1]))
+            return ("obj", None)
+        if op == "bulk_chunk_pipe":
+            self.pending_items.extend(cmd[1])
+            return ("obj", None)
+        if op == "bulk_end":
+            items, self.pending_items = self.pending_items, []
+            self.target.bulk_load(items)
+            return ("obj", len(items))
+        if op == "call":
+            _, method, args = cmd
+            if method == "len":
+                return ("obj", len(self.target))
+            if method == "contains":
+                return ("obj", args[0] in self.target)
+            if method == "range":
+                return ("obj", list(self.target.range(*args)))
+            if method == "stats":
+                return ("obj", self._stats())
+            return ("obj", getattr(self.target, method)(*args))
+        if op == "obs":
+            return ("obj", self._obs_payload())
+        raise ReproError(f"unknown worker command {op!r}")
+
+    def _write(self, items: List[Tuple[int, Any]], mode: str):
+        if mode == "insert":
+            self.target.insert_many(items)
+            return ("obj", None)
+        if mode == "upsert":
+            return self._reply_values(
+                self.target.upsert_many(items), len(items)
+            )
+        if mode == "put":
+            self.target.put_many(items)
+            return ("obj", None)
+        raise ReproError(f"unknown write mode {mode!r}")
+
+    def _obs_payload(self) -> dict:
+        return {
+            "worker": self.worker_id,
+            "trace_counts": dict(self.tracer.counts) if self.tracer else {},
+            "trace_records": list(self.tracer.records) if self.tracer else [],
+            "metrics": self.metrics,
+            "profiler_counters": self.profiler.total,
+            "profiler_ops": self.profiler.op_count,
+        }
+
+    def close(self) -> None:
+        if self.seg is not None:
+            shm = self.seg.shm
+            self.seg.release()
+            shm.close()
+            self.seg = None
+
+
+def _worker_main(conn, cfg: dict) -> None:
+    """Worker process entry: build the shard, then serve until ``close``."""
+    try:
+        state = _WorkerState(cfg)
+    except BaseException as exc:  # surface build failures to the parent
+        try:
+            conn.send(("err", _pickle_safe(exc), traceback.format_exc()))
+        finally:
+            conn.close()
+        return
+    conn.send(("ok", ("obj", "ready"), None, 0.0))
+    ops_total = state.metrics.counter(
+        "repro_worker_cmds_total", worker=str(state.worker_id)
+    )
+    wall_hist = state.metrics.histogram(
+        "repro_worker_cmd_wall_ns", worker=str(state.worker_id)
+    )
+    while True:
+        try:
+            cmd = conn.recv()
+        except (EOFError, OSError):
+            break
+        if cmd[0] == "close":
+            conn.send(("ok", ("obj", None), None, 0.0))
+            break
+        t0 = time.perf_counter()
+        mark = state.perf.begin()
+        try:
+            meta = state.serve(cmd)
+        except BaseException as exc:
+            conn.send(("err", _pickle_safe(exc), traceback.format_exc()))
+            continue
+        measured = state.perf.end(mark)
+        wall_ns = (time.perf_counter() - t0) * 1e9
+        ops_total.inc()
+        wall_hist.record(wall_ns)
+        state.profiler.record_measured(
+            cmd[0], measured, ops=_cmd_ops(cmd) or 1
+        )
+        delta = {k: v for k, v in measured.counters.as_dict().items() if v}
+        conn.send(("ok", meta, delta, wall_ns))
+    state.close()
+    conn.close()
+
+
+def _cmd_ops(cmd: tuple) -> int:
+    """How many logical operations a command covers (profiler split)."""
+    op = cmd[0]
+    if op in ("get_many", "write_many", "bulk_chunk"):
+        return cmd[1]
+    if op in ("get_many_pipe", "bulk_chunk_pipe", "write_many_pipe"):
+        return len(cmd[1])
+    return 1
+
+
+def _pickle_safe(exc: BaseException) -> Optional[BaseException]:
+    """The exception itself when it survives pickling, else ``None``."""
+    import pickle
+
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return None
+
+
+# ------------------------------------------------------------ parent side
+
+
+class _WorkerHandle:
+    __slots__ = ("worker_id", "proc", "conn", "seg")
+
+    def __init__(self, worker_id, proc, conn, seg):
+        self.worker_id = worker_id
+        self.proc = proc
+        self.conn = conn
+        self.seg = seg
+
+
+def _finalize_pool(handles: List[_WorkerHandle]) -> None:
+    """Idempotent hard cleanup: kill workers, unlink shared memory.
+
+    Registered with ``weakref.finalize`` so segments never leak even if
+    the engine is dropped without ``close()``; ``close()`` invokes it
+    after the graceful shutdown handshake.
+    """
+    for h in handles:
+        if h.proc.is_alive():
+            h.proc.terminate()
+    for h in handles:
+        if h.proc.is_alive():
+            h.proc.join(timeout=5)
+        try:
+            h.conn.close()
+        except OSError:
+            pass
+        if h.seg is not None:
+            shm = h.seg.shm
+            h.seg.release()
+            try:
+                shm.close()
+                shm.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+            h.seg = None
+
+
+class _ParallelEngine:
+    """Shared machinery: worker pool, transport, scatter/gather, obs.
+
+    Not used directly — see :class:`ParallelShardedIndex` /
+    :class:`ParallelShardedStore`.
+    """
+
+    def __init__(
+        self,
+        spec,
+        workers: int,
+        shards: Optional[int] = None,
+        perf: Optional[PerfContext] = None,
+        overrides: Optional[dict] = None,
+        capacity: int = DEFAULT_CAPACITY,
+        transport: str = "auto",
+        trace_rate: float = 0.0,
+        seed: int = 0,
+        store: bool = False,
+        record_bytes: int = 208,
+        slots_per_page: int = 16,
+    ):
+        from repro.registry import resolve  # deferred: avoids import cycle
+
+        if workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
+        if transport not in ("auto", "shm", "pipe"):
+            raise ReproError(
+                f"transport must be auto/shm/pipe, got {transport!r}"
+            )
+        spec = resolve(spec) if isinstance(spec, str) else spec
+        shards = workers if shards is None else max(shards, workers)
+        overrides = dict(overrides or {})
+
+        self.spec = spec
+        self.workers = workers
+        self.shards = shards
+        self.perf = perf if perf is not None else PerfContext()
+        #: A cheap local instance for name/sortedness/capability probing.
+        self.probe = spec.build(PerfContext(), **overrides)
+        self.router = ShardRouter(workers)
+        self._boundaries = np.asarray(self.router.boundaries, dtype=np.uint64)
+        self._capacity = capacity
+        self._store_mode = store
+        self._closed = False
+        self._broken: Optional[str] = None
+        #: Wall nanoseconds per op for every batched shipment (parent side).
+        self.wall_recorder = LatencyRecorder()
+        #: Ops routed per worker (balance observability).
+        self.worker_ops = [0] * workers
+        #: Worker-reported wall ns spent serving commands.
+        self.busy_ns = [0.0] * workers
+
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else "spawn"
+        ctx = multiprocessing.get_context(start_method)
+        use_shm = transport in ("auto", "shm") and _shm is not None
+        # Sub-shard split: worker w owns shards[w] in-process sub-shards
+        # so --shards K > --workers N still builds K range partitions.
+        base, extra = divmod(shards, workers)
+        self._handles: List[_WorkerHandle] = []
+        try:
+            for w in range(workers):
+                seg = None
+                if use_shm:
+                    try:
+                        shm = _shm.SharedMemory(
+                            create=True, size=_Segment.nbytes(capacity)
+                        )
+                        seg = _Segment(shm, capacity)
+                    except OSError:
+                        if transport == "shm":
+                            raise
+                        use_shm = False  # fall back to pipe for the rest
+                cfg = {
+                    "worker": w,
+                    "spec": spec.cli_name,
+                    "overrides": overrides,
+                    "sub_shards": base + (1 if w < extra else 0),
+                    "store": store,
+                    "record_bytes": record_bytes,
+                    "slots_per_page": slots_per_page,
+                    "shm_name": seg.shm.name if seg is not None else None,
+                    "capacity": capacity,
+                    "start_method": start_method,
+                    "trace_rate": trace_rate,
+                    "seed": seed,
+                }
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, cfg),
+                    daemon=True,
+                    name=f"repro-shard-{w}",
+                )
+                proc.start()
+                child_conn.close()
+                self._handles.append(
+                    _WorkerHandle(w, proc, parent_conn, seg)
+                )
+            self._finalizer = weakref.finalize(
+                self, _finalize_pool, self._handles
+            )
+            for h in self._handles:  # wait for builds; surfaces errors
+                self._recv(h, "build")
+        except BaseException:
+            _finalize_pool(self._handles)
+            raise
+        self._shm_on = all(h.seg is not None for h in self._handles)
+
+    # -- low-level transport ------------------------------------------
+
+    def _ensure_live(self) -> None:
+        if self._closed:
+            raise ReproError("parallel engine is closed")
+        if self._broken:
+            raise WorkerDiedError(self._broken)
+
+    def _send(self, h: _WorkerHandle, cmd: tuple) -> None:
+        try:
+            h.conn.send(cmd)
+        except (BrokenPipeError, OSError):
+            self._died(h, cmd[0])
+
+    def _died(self, h: _WorkerHandle, cmd_name: str):
+        h.proc.join(timeout=1)
+        self._broken = (
+            f"shard worker {h.worker_id} (pid {h.proc.pid}) died with exit "
+            f"code {h.proc.exitcode} while serving {cmd_name!r}; the "
+            f"engine cannot answer further operations"
+        )
+        raise WorkerDiedError(self._broken)
+
+    def _recv(self, h: _WorkerHandle, cmd_name: str):
+        """One reply; surfaces worker death instead of hanging forever."""
+        while not h.conn.poll(0.05):
+            if not h.proc.is_alive():
+                self._died(h, cmd_name)
+        try:
+            reply = h.conn.recv()
+        except (EOFError, OSError):
+            self._died(h, cmd_name)
+        if reply[0] == "err":
+            _, exc, tb = reply
+            if exc is not None:
+                raise exc
+            raise ReproError(
+                f"shard worker {h.worker_id} failed serving {cmd_name!r}:\n{tb}"
+            )
+        _, meta, delta, wall_ns = reply
+        if delta:
+            counters = self.perf.counters
+            for name, v in delta.items():
+                setattr(counters, name, getattr(counters, name) + v)
+        self.busy_ns[h.worker_id] += wall_ns
+        return meta
+
+    def _call(self, w: int, cmd: tuple):
+        self._ensure_live()
+        h = self._handles[w]
+        self._send(h, cmd)
+        meta = self._recv(h, cmd[0])
+        return meta[1] if meta[0] == "obj" else meta
+
+    def _broadcast(self, cmd: tuple) -> List[Any]:
+        self._ensure_live()
+        for h in self._handles:
+            self._send(h, cmd)
+        return [self._recv(h, cmd[0])[1] for h in self._handles]
+
+    def _decode_values(self, h: _WorkerHandle, meta, n: int) -> List[Any]:
+        if meta[0] == "shm":
+            vals = h.seg.vals[:n].tolist()
+            mask = h.seg.mask[:n].tolist()
+            return [v if m else None for v, m in zip(vals, mask)]
+        return meta[1]
+
+    # -- scatter/gather ------------------------------------------------
+
+    def _scatter(self, keys_arr: np.ndarray):
+        """(order, sorted_keys, counts) grouping ``keys_arr`` by worker.
+
+        Stable sort by shard id: in-shard order equals input order, so
+        duplicate-key semantics and per-shard ``get_many`` charge streams
+        match the in-process scatter bit-for-bit.
+        """
+        if self.workers == 1:
+            return None, keys_arr, [len(keys_arr)]
+        sid = np.searchsorted(self._boundaries, keys_arr, side="right")
+        order = np.argsort(sid, kind="stable")
+        counts = np.bincount(sid, minlength=self.workers).tolist()
+        return order, keys_arr[order], counts
+
+    def _chunk_step(self, n: int) -> int:
+        return self._capacity if self._shm_on else max(n, 1)
+
+    def _get_many(self, keys: Sequence[int]) -> List[Optional[Any]]:
+        self._ensure_live()
+        keys = list(keys)
+        out: List[Optional[Any]] = [None] * len(keys)
+        step = self._chunk_step(len(keys))
+        for lo in range(0, len(keys), step):
+            self._get_chunk(keys[lo : lo + step], out, lo)
+        return out
+
+    def _get_chunk(self, chunk, out, base) -> None:
+        t0 = time.perf_counter()
+        order, sorted_keys, counts = self._scatter(
+            np.asarray(chunk, dtype=np.uint64)
+        )
+        active: List[Tuple[_WorkerHandle, int]] = []
+        off = 0
+        for w, n in enumerate(counts):
+            if not n:
+                continue
+            h = self._handles[w]
+            self.worker_ops[w] += n
+            piece = sorted_keys[off : off + n]
+            off += n
+            if self._shm_on:
+                h.seg.keys[:n] = piece
+                self._send(h, ("get_many", n))
+            else:
+                self._send(h, ("get_many_pipe", piece.tolist()))
+            active.append((h, n))
+        gathered: List[Any] = []
+        for h, n in active:
+            meta = self._recv(h, "get_many")
+            gathered.extend(self._decode_values(h, meta, n))
+        if order is None:
+            out[base : base + len(gathered)] = gathered
+        else:
+            for pos, v in zip(order.tolist(), gathered):
+                out[base + pos] = v
+        if chunk:
+            self.wall_recorder.record(
+                (time.perf_counter() - t0) * 1e9 / len(chunk)
+            )
+
+    def _write_many(
+        self, items: Sequence[Tuple[int, Any]], mode: str, want_old: bool
+    ) -> Optional[List[Optional[Any]]]:
+        self._ensure_live()
+        items = list(items)
+        out: Optional[List[Optional[Any]]] = (
+            [None] * len(items) if want_old else None
+        )
+        step = self._chunk_step(len(items))
+        for lo in range(0, len(items), step):
+            self._write_chunk(items[lo : lo + step], mode, out, lo)
+        return out
+
+    def _write_chunk(self, chunk, mode, out, base) -> None:
+        t0 = time.perf_counter()
+        keys_arr = np.fromiter(
+            (k for k, _ in chunk), dtype=np.uint64, count=len(chunk)
+        )
+        order, _, counts = self._scatter(keys_arr)
+        ordered = (
+            chunk if order is None else [chunk[i] for i in order.tolist()]
+        )
+        shm_ok = self._shm_on and _items_encodable([v for _, v in ordered])
+        active: List[Tuple[_WorkerHandle, int]] = []
+        off = 0
+        for w, n in enumerate(counts):
+            if not n:
+                continue
+            h = self._handles[w]
+            self.worker_ops[w] += n
+            piece = ordered[off : off + n]
+            off += n
+            if shm_ok:
+                h.seg.keys[:n] = np.fromiter(
+                    (k for k, _ in piece), dtype=np.uint64, count=n
+                )
+                h.seg.vals[:n] = np.fromiter(
+                    (v for _, v in piece), dtype=np.uint64, count=n
+                )
+                self._send(h, ("write_many", n, mode))
+            else:
+                self._send(h, ("write_many_pipe", piece, mode))
+            active.append((h, n))
+        gathered: List[Any] = []
+        for h, n in active:
+            meta = self._recv(h, "write_many")
+            if out is not None:
+                gathered.extend(self._decode_values(h, meta, n))
+        if out is not None:
+            if order is None:
+                out[base : base + len(gathered)] = gathered
+            else:
+                for pos, v in zip(order.tolist(), gathered):
+                    out[base + pos] = v
+        if chunk:
+            self.wall_recorder.record(
+                (time.perf_counter() - t0) * 1e9 / len(chunk)
+            )
+
+    # -- construction --------------------------------------------------
+
+    def _bulk_load(self, items: Sequence[Tuple[int, Any]]) -> None:
+        """Ship each worker its range partition, then build in parallel.
+
+        ``items`` arrive sorted ascending by unique key (the ``bulk_load``
+        contract), so partitioning is a boundary cut, not a scatter.
+        """
+        self._ensure_live()
+        items = list(items)
+        self.router = ShardRouter.from_keys(
+            [k for k, _ in items], self.workers
+        )
+        self._boundaries = np.asarray(self.router.boundaries, dtype=np.uint64)
+        keys = [k for k, _ in items]
+        cuts = [0]
+        from bisect import bisect_left
+
+        for b in self.router.boundaries:
+            cuts.append(bisect_left(keys, b))
+        cuts.append(len(items))
+        parts = [items[cuts[w] : cuts[w + 1]] for w in range(self.workers)]
+        # Ship chunks round-robin (one in flight per worker), then issue
+        # bulk_end to all workers at once so the builds run concurrently.
+        step = self._capacity if self._shm_on else max(len(items), 1)
+        offsets = [0] * self.workers
+        while True:
+            active = []
+            for w, part in enumerate(parts):
+                if offsets[w] >= len(part):
+                    continue
+                piece = part[offsets[w] : offsets[w] + step]
+                offsets[w] += len(piece)
+                h = self._handles[w]
+                if self._shm_on and _items_encodable([v for _, v in piece]):
+                    n = len(piece)
+                    h.seg.keys[:n] = np.fromiter(
+                        (k for k, _ in piece), dtype=np.uint64, count=n
+                    )
+                    h.seg.vals[:n] = np.fromiter(
+                        (v for _, v in piece), dtype=np.uint64, count=n
+                    )
+                    self._send(h, ("bulk_chunk", n))
+                else:
+                    self._send(h, ("bulk_chunk_pipe", piece))
+                active.append(h)
+            if not active:
+                break
+            for h in active:
+                self._recv(h, "bulk_chunk")
+        for h in self._handles:
+            self._send(h, ("bulk_end",))
+        for h in self._handles:
+            self._recv(h, "bulk_end")
+
+    # -- lifecycle -----------------------------------------------------
+
+    def drain_obs(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        profiler: Optional[Profiler] = None,
+    ) -> List[dict]:
+        """Pull every worker's tracer/metrics/profiler state and merge it
+        into the given parent-side instances.  Returns the raw payloads."""
+        payloads = self._broadcast(("obs",))
+        for p in payloads:
+            if tracer is not None:
+                tracer.absorb(p["trace_counts"], p["trace_records"])
+            if metrics is not None:
+                metrics.merge_from(p["metrics"])
+            if profiler is not None:
+                profiler.absorb(p["profiler_counters"], p["profiler_ops"])
+        return payloads
+
+    def worker_utilization(self) -> List[float]:
+        """Per-worker share of total worker-side serving time (balance)."""
+        total = sum(self.busy_ns)
+        if total <= 0:
+            return [0.0] * self.workers
+        return [b / total for b in self.busy_ns]
+
+    def close(self) -> None:
+        """Shut the pool down; workers detach and the parent unlinks every
+        shared-memory segment (no leaked ``/dev/shm`` entries)."""
+        if self._closed:
+            return
+        self._closed = True
+        for h in self._handles:
+            if h.proc.is_alive():
+                try:
+                    h.conn.send(("close",))
+                except (BrokenPipeError, OSError):
+                    pass
+        for h in self._handles:
+            h.proc.join(timeout=5)
+        self._finalizer()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    # -- shared read-side API ------------------------------------------
+
+    def stats(self) -> IndexStats:
+        parts = self._broadcast(("call", "stats", ()))
+        lens = self._broadcast(("call", "len", ()))
+        return merge_index_stats(parts, lens)
+
+    def __len__(self) -> int:
+        return sum(self._broadcast(("call", "len", ())))
+
+
+class ParallelShardedIndex(_ParallelEngine, Index):
+    """A registry index executed across worker processes, one per shard.
+
+    Same contract as the in-process
+    :class:`~repro.concurrency.sharding.ShardedIndex` — bit-identical
+    answers for any worker count (``tests/test_parallel_engine.py``) —
+    but each shard runs on its own core.  Build via
+    :func:`parallel_sharded_index`, which picks the sorted variant.
+    """
+
+    def __init__(self, spec, workers: int, **kwargs):
+        kwargs.pop("store", None)
+        _ParallelEngine.__init__(self, spec, workers, store=False, **kwargs)
+        Index.__init__(self, self.perf)
+        self.name = f"parallel[{self.probe.name}]x{self.workers}"
+        self.insert_is_upsert = self.probe.insert_is_upsert
+
+    # construction / reads
+    def bulk_load(self, items: Sequence[Tuple[int, Any]]) -> None:
+        self._bulk_load(items)
+
+    def get(self, key: int) -> Optional[Any]:
+        return self._call(self.router.shard_of(key), ("call", "get", (key,)))
+
+    def get_many(self, keys: Sequence[int]) -> List[Optional[Any]]:
+        return self._get_many(keys)
+
+    # writes
+    def insert(self, key: int, value: Any) -> None:
+        self._call(self.router.shard_of(key), ("call", "insert", (key, value)))
+
+    def insert_many(self, items: Sequence[Tuple[int, Any]]) -> None:
+        self._write_many(items, "insert", want_old=False)
+
+    def upsert(self, key: int, value: Any) -> Optional[Any]:
+        return self._call(
+            self.router.shard_of(key), ("call", "upsert", (key, value))
+        )
+
+    def upsert_many(
+        self, items: Sequence[Tuple[int, Any]]
+    ) -> List[Optional[Any]]:
+        return self._write_many(items, "upsert", want_old=True)
+
+    def update(self, key: int, value: Any) -> bool:
+        return self._call(
+            self.router.shard_of(key), ("call", "update", (key, value))
+        )
+
+    def delete(self, key: int) -> bool:
+        return self._call(self.router.shard_of(key), ("call", "delete", (key,)))
+
+    # metadata
+    def size_bytes(self) -> int:
+        return sum(self._broadcast(("call", "size_bytes", ())))
+
+    def key_store_bytes(self) -> int:
+        return sum(self._broadcast(("call", "key_store_bytes", ())))
+
+    def capabilities(self):
+        return self.probe.capabilities()
+
+
+class ParallelSortedShardedIndex(ParallelShardedIndex, SortedIndex):
+    """Sorted variant: cross-worker scans drain left-to-right in order."""
+
+    def scan(self, start: int, count: int) -> List[Tuple[int, Any]]:
+        out: List[Tuple[int, Any]] = []
+        for w in range(self.router.shard_of(start), self.workers):
+            out.extend(
+                self._call(w, ("call", "scan", (start, count - len(out))))
+            )
+            if len(out) >= count:
+                break
+        return out
+
+    def range(self, lo: int, hi: int) -> Iterator[Tuple[int, Any]]:
+        for w in range(self.router.shard_of(lo), self.workers):
+            yield from self._call(w, ("call", "range", (lo, hi)))
+
+
+def parallel_sharded_index(
+    spec, workers: int, **kwargs
+) -> ParallelShardedIndex:
+    """A :class:`ParallelShardedIndex` over ``spec``, sorted-aware.
+
+    Mirrors :func:`~repro.concurrency.sharding.sharded_index`: probes a
+    local instance and returns the sorted variant when the child supports
+    ordered scans, so ``isinstance(x, SortedIndex)`` gates scans exactly
+    as for the in-process wrapper.
+    """
+    from repro.registry import resolve
+
+    spec = resolve(spec) if isinstance(spec, str) else spec
+    probe = spec.build(PerfContext(), **dict(kwargs.get("overrides") or {}))
+    cls = (
+        ParallelSortedShardedIndex
+        if isinstance(probe, SortedIndex)
+        else ParallelShardedIndex
+    )
+    return cls(spec, workers, **kwargs)
+
+
+class ParallelShardedStore(_ParallelEngine):
+    """K Viper stores behind the one-store API, one worker process each.
+
+    The store analogue of :class:`ParallelShardedIndex` and the
+    process-parallel analogue of
+    :class:`~repro.concurrency.sharding.ShardedStore`: each worker owns a
+    :class:`~repro.store.viper.ViperStore` (its own index *and* its own
+    simulated NVM device) over its range partition.  ``.index`` exposes a
+    local representative instance so
+    :class:`~repro.bench.runner.StoreAdapter` and the CLI name/sortedness
+    probes keep working unchanged.
+    """
+
+    def __init__(self, spec, workers: int, **kwargs):
+        kwargs.pop("store", None)
+        _ParallelEngine.__init__(self, spec, workers, store=True, **kwargs)
+        self.index = self.probe  # representative, for naming/capabilities
+        self.name = f"parallel[{self.probe.name}]x{self.workers}"
+
+    # -- operations ---------------------------------------------------
+
+    def bulk_load(self, items: Sequence[Tuple[int, Any]]) -> None:
+        self._bulk_load(items)
+
+    def get(self, key: int) -> Optional[Any]:
+        w = self.router.shard_of(key)
+        self.worker_ops[w] += 1
+        return self._call(w, ("call", "get", (key,)))
+
+    def get_many(self, keys: Sequence[int]) -> List[Optional[Any]]:
+        return self._get_many(keys)
+
+    def put(self, key: int, value: Any) -> None:
+        w = self.router.shard_of(key)
+        self.worker_ops[w] += 1
+        self._call(w, ("call", "put", (key, value)))
+
+    def put_many(self, items: Sequence[Tuple[int, Any]]) -> None:
+        self._write_many(items, "put", want_old=False)
+
+    def update(self, key: int, value: Any) -> bool:
+        w = self.router.shard_of(key)
+        self.worker_ops[w] += 1
+        return self._call(w, ("call", "update", (key, value)))
+
+    def delete(self, key: int) -> bool:
+        w = self.router.shard_of(key)
+        self.worker_ops[w] += 1
+        return self._call(w, ("call", "delete", (key,)))
+
+    def scan(self, start_key: int, count: int) -> List[Tuple[int, Any]]:
+        out: List[Tuple[int, Any]] = []
+        for w in range(self.router.shard_of(start_key), self.workers):
+            self.worker_ops[w] += 1
+            out.extend(
+                self._call(w, ("call", "scan", (start_key, count - len(out))))
+            )
+            if len(out) >= count:
+                break
+        return out
+
+    def gc(self) -> int:
+        return sum(self._broadcast(("call", "gc", ())))
+
+    def __contains__(self, key: int) -> bool:
+        return self._call(
+            self.router.shard_of(key), ("call", "contains", (key,))
+        )
+
+    def space_overhead(self) -> dict:
+        out: dict = {}
+        for part in self._broadcast(("call", "space_overhead", ())):
+            for k, v in part.items():
+                out[k] = out.get(k, 0) + v
+        return out
+
+
+def parallel_sharded_store(
+    spec, workers: int, **kwargs
+) -> ParallelShardedStore:
+    """A :class:`ParallelShardedStore` over ``spec`` (name or IndexSpec)."""
+    return ParallelShardedStore(spec, workers, **kwargs)
+
+
+# ------------------------------------------------------------ measurement
+
+
+def measure_scaling(
+    spec,
+    items: Sequence[Tuple[int, int]],
+    ops,
+    worker_counts: Sequence[int],
+    batch_size: int = 2048,
+    store: bool = True,
+    shards: Optional[int] = None,
+    transport: str = "auto",
+    overrides: Optional[dict] = None,
+) -> List[dict]:
+    """Measured wall-clock scaling: run ``ops`` through a real engine at
+    each worker count and report throughput rows.
+
+    This is what ``thread_scaling(projection="measured")`` and the Fig
+    12/14 ``--projection measured`` branches delegate to — the
+    closed-loop validation of the analytic/simulated projections.  Rows
+    carry ``throughput_mops`` (wall), ``wall_s``, ``mean_ns`` and
+    ``p999_ns`` (per-op wall, from the engine's shipment recorder), and
+    ``utilization`` (per-worker busy share, min..max).
+    """
+    from repro.bench.runner import IndexAdapter, StoreAdapter, execute_ops
+
+    ops = list(ops)
+    rows: List[dict] = []
+    for w in worker_counts:
+        maker = parallel_sharded_store if store else parallel_sharded_index
+        engine = maker(
+            spec,
+            workers=w,
+            shards=shards,
+            transport=transport,
+            overrides=overrides,
+        )
+        try:
+            engine.bulk_load(list(items))
+            target = (
+                StoreAdapter(engine) if store else IndexAdapter(engine)
+            )
+            t0 = time.perf_counter()
+            execute_ops(target, ops, PerfContext(), batch_size=batch_size)
+            wall_s = time.perf_counter() - t0
+            recorder = engine.wall_recorder
+            util = engine.worker_utilization()
+            rows.append(
+                {
+                    "threads": w,
+                    "wall_s": wall_s,
+                    "throughput_mops": len(ops) / wall_s / 1e6,
+                    "mean_ns": wall_s * 1e9 / max(1, len(ops)),
+                    "p999_ns": (
+                        recorder.p999()
+                        if len(recorder)
+                        else wall_s * 1e9 / max(1, len(ops))
+                    ),
+                    "utilization": util,
+                }
+            )
+        finally:
+            engine.close()
+    return rows

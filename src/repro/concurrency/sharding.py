@@ -73,17 +73,36 @@ class ShardRouter:
         Splitting at the ``i*n/k``-th loaded key guarantees every shard
         starts non-empty (required: most indexes are built by
         ``bulk_load`` and then grown), so ``shards`` cannot exceed the
-        number of loaded keys.
+        number of loaded keys.  Duplicate-heavy samples can make two
+        split points land on the same key value; the boundary then
+        advances to the next strictly greater key so the boundary list
+        stays ascending and every shard still starts non-empty.
         """
         n = len(keys)
         if shards > n:
             raise InvalidConfigurationError(
                 f"cannot split {n} keys into {shards} non-empty shards"
             )
-        return cls(
-            shards,
-            [keys[(n * i) // shards] for i in range(1, shards)],
-        )
+        boundaries: List[int] = []
+        # Every boundary must exceed the previous one AND the first key,
+        # otherwise the shard to its left would start empty.
+        prev = keys[0] if n else 0
+        for i in range(1, shards):
+            candidate = keys[(n * i) // shards]
+            if candidate <= prev:
+                # Duplicate run: advance to the next distinct key.
+                nxt = bisect_right(keys, prev)
+                if nxt >= n:
+                    distinct = len(set(keys))
+                    raise InvalidConfigurationError(
+                        f"cannot split keys into {shards} non-empty "
+                        f"shards: only {distinct} distinct key(s) in the "
+                        f"{n}-key sample"
+                    )
+                candidate = keys[nxt]
+            boundaries.append(candidate)
+            prev = candidate
+        return cls(shards, boundaries)
 
     def shard_of(self, key: int) -> int:
         return bisect_right(self.boundaries, key)
@@ -97,6 +116,42 @@ class ShardRouter:
         for key, value in items:
             parts[self.shard_of(key)].append((key, value))
         return parts
+
+
+def merge_index_stats(
+    parts: Sequence[IndexStats], weights: Sequence[int]
+) -> IndexStats:
+    """Merge per-shard :class:`IndexStats`: counts sum, depths aggregate.
+
+    ``weights`` carries each shard's live key count so the per-key
+    averages (depth, error) combine population-weighted.  Shared by the
+    in-process :class:`ShardedIndex` and the process-parallel engine
+    (:mod:`repro.concurrency.parallel`), whose workers ship their stats
+    across the pipe for the same merge.
+    """
+    live = list(zip(parts, weights))
+    total = sum(n for _, n in live)
+    out = IndexStats(
+        depth_avg=(
+            sum(s.depth_avg * n for s, n in live) / total if total else 0.0
+        ),
+        depth_max=max((s.depth_max for s in parts), default=0),
+        leaf_count=sum(s.leaf_count for s in parts),
+        avg_error=(
+            sum(s.avg_error * n for s, n in live) / total if total else 0.0
+        ),
+        max_error=max((s.max_error for s in parts), default=0),
+        retrain_count=sum(s.retrain_count for s in parts),
+        retrain_keys=sum(s.retrain_keys for s in parts),
+        retrain_time_ns=sum(s.retrain_time_ns for s in parts),
+    )
+    for s in parts:
+        for k, v in s.extra.items():
+            if isinstance(v, (int, float)):
+                out.extra[k] = out.extra.get(k, 0) + v
+            else:
+                out.extra[k] = v
+    return out
 
 
 def _scatter_get_many(
@@ -219,30 +274,10 @@ class ShardedIndex(Index):
 
     def stats(self) -> IndexStats:
         """Per-shard stats merged: counts sum, depths aggregate."""
-        parts = [child.stats() for child in self.children]
-        live = [(s, len(c)) for s, c in zip(parts, self.children)]
-        total = sum(n for _, n in live)
-        out = IndexStats(
-            depth_avg=(
-                sum(s.depth_avg * n for s, n in live) / total if total else 0.0
-            ),
-            depth_max=max(s.depth_max for s in parts),
-            leaf_count=sum(s.leaf_count for s in parts),
-            avg_error=(
-                sum(s.avg_error * n for s, n in live) / total if total else 0.0
-            ),
-            max_error=max(s.max_error for s in parts),
-            retrain_count=sum(s.retrain_count for s in parts),
-            retrain_keys=sum(s.retrain_keys for s in parts),
-            retrain_time_ns=sum(s.retrain_time_ns for s in parts),
+        return merge_index_stats(
+            [child.stats() for child in self.children],
+            [len(child) for child in self.children],
         )
-        for s in parts:
-            for k, v in s.extra.items():
-                if isinstance(v, (int, float)):
-                    out.extra[k] = out.extra.get(k, 0) + v
-                else:
-                    out.extra[k] = v
-        return out
 
     # -- shard-level accounting ---------------------------------------
 

@@ -29,6 +29,15 @@ class InvalidKeysError(ReproError):
     """A fit/build received keys it cannot model (NaN, unsorted, dupes)."""
 
 
+class WorkerDiedError(ReproError):
+    """A shard worker process died mid-operation (parallel engine).
+
+    Raised by :mod:`repro.concurrency.parallel` when a worker exits (or
+    its pipe breaks) while the parent is waiting on a reply, so a killed
+    worker surfaces as a descriptive error instead of a hung gather.
+    """
+
+
 class DeviceError(ReproError):
     """Simulated persistent-memory device error (out of space, bad offset)."""
 

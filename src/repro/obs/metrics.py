@@ -95,6 +95,24 @@ class MetricsRegistry:
     def histogram(self, name: str, **labels) -> LogHistogram:
         return self._get("histogram", LogHistogram, name, labels)
 
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's series into this one (cross-process merge).
+
+        Counters and histograms accumulate; gauges are last-write-wins,
+        so the other registry's value overwrites.  This is how the
+        parallel engine's per-worker registries land in the parent at
+        shutdown — series identity is ``(name, labels)``, so workers that
+        label their series with ``worker=<id>`` stay distinct while
+        unlabelled families simply sum.
+        """
+        for name, kind, labels, instrument in other.collect():
+            if kind == "counter":
+                self.counter(name, **labels).inc(instrument.value)
+            elif kind == "gauge":
+                self.gauge(name, **labels).set(instrument.value)
+            else:
+                self.histogram(name, **labels).merge(instrument)
+
     def collect(self) -> Iterator[Tuple[str, str, Dict[str, str], object]]:
         """Yield ``(name, kind, labels, instrument)`` for every series."""
         for name, (kind, series) in self._families.items():

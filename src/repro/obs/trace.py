@@ -165,6 +165,29 @@ class Tracer:
         for sink in self._sinks:
             sink(event)
 
+    def absorb(
+        self, counts: Dict[str, int], records: List[TraceEvent]
+    ) -> None:
+        """Fold another tracer's output into this one (cross-process merge).
+
+        The parallel engine's workers each run their own tracer; at drain
+        time the parent absorbs the workers' exact counts and sampled
+        records.  Absorbed records are re-sequenced onto this tracer's
+        monotone ``seq`` (their own emission order is preserved) and
+        forwarded to any attached sinks, so a JSONL trace written by the
+        parent includes worker-side lifecycle events.
+        """
+        for etype, n in counts.items():
+            self.counts[etype] = self.counts.get(etype, 0) + n
+        for record in records:
+            self._seq += 1
+            record.seq = self._seq
+            self.sampled[record.etype] = self.sampled.get(record.etype, 0) + 1
+            if self.keep:
+                self.records.append(record)
+            for sink in self._sinks:
+                sink(record)
+
     def count(self, etype: str) -> int:
         """Exact number of ``etype`` emissions (independent of sampling)."""
         return self.counts.get(etype, 0)

@@ -1,0 +1,260 @@
+"""The process-parallel engine must be invisible, like sharding itself.
+
+Contract under test: a :class:`~repro.concurrency.ParallelShardedIndex`
+(worker *processes*, shared-memory transport) returns bit-identical
+answers to the flat in-process index for every registry spec and every
+worker count — and it fails loudly (``WorkerDiedError``) instead of
+hanging when a worker dies, and leaks no shared-memory segments on
+close.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro import PerfContext, ViperStore
+from repro.concurrency import (
+    ParallelShardedIndex,
+    ParallelShardedStore,
+    ParallelSortedShardedIndex,
+    parallel_sharded_index,
+    parallel_sharded_store,
+)
+from repro.core.interfaces import SortedIndex
+from repro.errors import ReproError, WorkerDiedError
+from repro.obs import MetricsRegistry, Tracer
+from repro.perf import Profiler
+from repro.registry import specs
+from repro.workloads import uniform_keys
+
+WORKER_COUNTS = (1, 2, 4)
+
+N_KEYS = 500
+N_EXTRA = 100
+
+
+def _keys():
+    keys = uniform_keys(N_KEYS + N_EXTRA, seed=11)
+    return keys[:N_KEYS], keys[N_KEYS:]
+
+
+def _spec_params():
+    return [pytest.param(spec, id=spec.name) for spec in specs()]
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("spec", _spec_params())
+def test_engine_matches_flat_index(spec, workers):
+    load, extra = _keys()
+    items = [(k, k * 3) for k in load]
+
+    flat = spec.build(PerfContext())
+    flat.bulk_load(items)
+    engine = parallel_sharded_index(spec, workers)
+    try:
+        engine.bulk_load(items)
+
+        probe = list(load) + list(extra)
+        assert engine.get_many(probe) == flat.get_many(probe)
+        assert len(engine) == len(flat)
+
+        if flat.capabilities().updatable:
+            flat.insert_many([(k, k * 3) for k in extra])
+            engine.insert_many([(k, k * 3) for k in extra])
+            assert engine.get_many(probe) == flat.get_many(probe)
+            for k in load[:10]:
+                flat.update(k, k + 1)
+                engine.update(k, k + 1)
+            assert engine.get_many(load[:10]) == flat.get_many(load[:10])
+            for k in load[10:15]:
+                assert engine.delete(k) == flat.delete(k)
+            assert engine.get_many(load[10:15]) == [None] * 5
+            assert len(engine) == len(flat)
+
+        if isinstance(flat, SortedIndex):
+            assert isinstance(engine, ParallelSortedShardedIndex)
+            start = sorted(load)[len(load) // 3]
+            for count in (1, 40, len(load)):
+                assert engine.scan(start, count) == flat.scan(start, count)
+            assert list(engine.range(start, start + 10**17)) == list(
+                flat.range(start, start + 10**17)
+            )
+
+        stats = engine.stats()
+        assert stats.leaf_count >= min(workers, flat.stats().leaf_count or 1)
+    finally:
+        engine.close()
+
+
+@pytest.mark.parametrize("workers", (1, 3))
+def test_engine_store_matches_flat_store(workers):
+    spec = next(s for s in specs() if s.name == "PGM")
+    load, extra = _keys()
+    items = [(k, f"v{k}") for k in load]
+
+    flat = ViperStore(spec.build(PerfContext()), PerfContext())
+    flat.bulk_load(items)
+    engine = parallel_sharded_store(spec, workers)
+    try:
+        engine.bulk_load(items)
+        probe = list(load) + list(extra)
+        assert engine.get_many(probe) == flat.get_many(probe)
+        for k in extra:
+            flat.put(k, f"n{k}")
+            engine.put(k, f"n{k}")
+        assert engine.get_many(probe) == flat.get_many(probe)
+        assert (load[0] in engine) and (extra[0] in engine)
+        assert len(engine) == len(flat)
+        start = sorted(load)[5]
+        assert engine.scan(start, 30) == flat.scan(start, 30)
+    finally:
+        engine.close()
+
+
+def test_pipe_transport_matches_shm():
+    spec = next(s for s in specs() if s.name == "BTree")
+    load, extra = _keys()
+    items = [(k, k) for k in load]
+    probe = list(load) + list(extra)
+
+    shm_engine = parallel_sharded_index(spec, 2, transport="shm")
+    pipe_engine = parallel_sharded_index(spec, 2, transport="pipe")
+    try:
+        shm_engine.bulk_load(items)
+        pipe_engine.bulk_load(items)
+        assert shm_engine.get_many(probe) == pipe_engine.get_many(probe)
+        # Non-integer values force the pipe fallback inside the shm
+        # engine; answers must still agree.
+        extras = [(k, f"s{k}") for k in extra]
+        shm_engine.upsert_many(extras)
+        pipe_engine.upsert_many(extras)
+        assert shm_engine.get_many(extra) == pipe_engine.get_many(extra)
+    finally:
+        shm_engine.close()
+        pipe_engine.close()
+
+
+def test_worker_death_is_surfaced_not_hung():
+    spec = next(s for s in specs() if s.name == "BTree")
+    load, _ = _keys()
+    engine = parallel_sharded_index(spec, 2)
+    try:
+        engine.bulk_load([(k, k) for k in load])
+        victim = engine._handles[1].proc
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(5)
+        with pytest.raises(WorkerDiedError) as err:
+            # Several batches: at least one routes to the dead worker.
+            for _ in range(3):
+                engine.get_many(load)
+        assert "worker 1" in str(err.value)
+        # The engine latches broken: no silent half-answers afterwards.
+        with pytest.raises(WorkerDiedError):
+            engine.get_many(load[:5])
+    finally:
+        engine.close()  # close after a crash must still succeed
+
+
+def test_close_unlinks_every_shm_segment():
+    shm_mod = pytest.importorskip("multiprocessing.shared_memory")
+    spec = next(s for s in specs() if s.name == "BTree")
+    load, _ = _keys()
+    engine = parallel_sharded_index(spec, 2, transport="shm")
+    names = [h.seg.shm.name for h in engine._handles]
+    assert len(names) == 2
+    engine.bulk_load([(k, k) for k in load])
+    engine.get_many(load)
+    engine.close()
+    engine.close()  # idempotent
+    time.sleep(0.05)
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shm_mod.SharedMemory(name=name)
+    with pytest.raises(ReproError):
+        engine.get_many(load[:1])
+
+
+def test_drain_obs_merges_worker_state_into_parent():
+    spec = next(s for s in specs() if s.name == "PGM")
+    load, extra = _keys()
+    engine = parallel_sharded_index(spec, 2, trace_rate=1.0, seed=7)
+    try:
+        engine.bulk_load([(k, k) for k in load])
+        engine.get_many(load)
+        engine.insert_many([(k, k) for k in extra])
+
+        tracer = Tracer(rate=0.0)
+        metrics = MetricsRegistry()
+        profiler = Profiler(PerfContext())
+        payloads = engine.drain_obs(
+            tracer=tracer, metrics=metrics, profiler=profiler
+        )
+        assert len(payloads) == 2
+        # Worker-side lifecycle events land in the parent tracer...
+        assert sum(tracer.counts.values()) > 0
+        # ...command metrics in the parent registry (per-worker labels)...
+        names = {name for name, _kind, _labels, _inst in metrics.collect()}
+        assert "repro_worker_cmds_total" in names
+        # ...and measured work in the parent profiler.
+        assert profiler.op_count > 0
+        assert profiler.total.total() > 0
+    finally:
+        engine.close()
+
+    # Simulated charges flow back continuously (not only at drain time):
+    # the engine's own PerfContext saw the workers' counter deltas.
+    assert engine.perf.counters.total() > 0
+
+
+def test_engine_perf_charges_match_in_process_sharding():
+    """The simulated cost model must not notice the process boundary."""
+    from repro.concurrency import sharded_index
+
+    spec = next(s for s in specs() if s.name == "PGM")
+    load, extra = _keys()
+    items = [(k, k) for k in load]
+    probe = list(load) + list(extra)
+
+    perf_local = PerfContext()
+    local = sharded_index(spec.build, 2, perf=perf_local)
+    local.bulk_load(items)
+    local.get_many(probe)
+
+    perf_engine = PerfContext()
+    engine = parallel_sharded_index(spec, 2, perf=perf_engine)
+    try:
+        engine.bulk_load(items)
+        engine.get_many(probe)
+    finally:
+        engine.close()
+
+    assert perf_engine.counters.as_dict() == perf_local.counters.as_dict()
+    assert perf_engine.counters.total() > 0
+
+
+def test_engine_utilization_and_balance_accounting():
+    spec = next(s for s in specs() if s.name == "BTree")
+    load, _ = _keys()
+    engine = parallel_sharded_index(spec, 2)
+    try:
+        engine.bulk_load([(k, k) for k in load])
+        engine.get_many(load)
+        assert sum(engine.worker_ops) == len(load)
+        shares = engine.worker_utilization()
+        assert len(shares) == 2
+        assert all(s >= 0.0 for s in shares)
+        assert sum(shares) == pytest.approx(1.0)
+        assert engine.name.startswith("parallel[")
+    finally:
+        engine.close()
+
+
+def test_bad_configuration_rejected():
+    with pytest.raises(ReproError):
+        ParallelShardedIndex("pgm", 0)
+    with pytest.raises(ReproError):
+        ParallelShardedIndex("pgm", 2, transport="carrier-pigeon")
+    with pytest.raises(ReproError):
+        ParallelShardedStore("no-such-spec", 2)

@@ -134,6 +134,24 @@ class TestRouter:
         with pytest.raises(InvalidConfigurationError):
             ShardRouter.from_keys([1, 2, 3], 4)
 
+    def test_from_keys_duplicate_heavy_sample(self):
+        # Regression: equal-population cuts used to land two boundaries
+        # on the same repeated key and crash on the strictly-ascending
+        # check.  A skewed sample (each key repeated 40x) must split.
+        distinct = sorted(uniform_keys(12, seed=3))
+        keys = sorted(k for k in distinct for _ in range(40))
+        router = ShardRouter.from_keys(keys, 7)
+        parts = router.partition([(k, None) for k in keys])
+        assert len(parts) == 7
+        assert all(parts)
+        assert sum(len(p) for p in parts) == len(keys)
+
+    def test_from_keys_too_few_distinct_keys_rejected(self):
+        keys = sorted([5] * 50 + [9] * 50)  # 2 distinct, 3 shards
+        with pytest.raises(InvalidConfigurationError) as err:
+            ShardRouter.from_keys(keys, 3)
+        assert "distinct" in str(err.value)
+
     def test_bad_boundaries_rejected(self):
         with pytest.raises(InvalidConfigurationError):
             ShardRouter(3, boundaries=[10])  # wrong count
