@@ -43,6 +43,7 @@ MODULES = [
     "bench_fig18c_buffer_sweep",
     "bench_fig18d_total_update",
     "bench_appendix_range",
+    "bench_scan",
     "bench_ext_lipp",
     "bench_ext_apex",
     "bench_ext_hot_ats",

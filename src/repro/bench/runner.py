@@ -56,6 +56,10 @@ class OpTarget:
     def scan(self, key: int, count: int):
         raise NotImplementedError
 
+    def scan_many(self, starts: Sequence[int], count: int):
+        """Batch scan; targets with a native fast path override."""
+        return [self.scan(start, count) for start in starts]
+
 
 class IndexAdapter(OpTarget):
     """Drive a bare :class:`Index` (no store, values live in the index)."""
@@ -80,6 +84,9 @@ class IndexAdapter(OpTarget):
     def scan(self, key: int, count: int):
         return self.index.scan(key, count)
 
+    def scan_many(self, starts: Sequence[int], count: int):
+        return self.index.scan_many(starts, count)
+
 
 class StoreAdapter(OpTarget):
     """Drive operations end-to-end through a :class:`ViperStore`."""
@@ -103,6 +110,9 @@ class StoreAdapter(OpTarget):
 
     def scan(self, key: int, count: int):
         return self.store.scan(key, count)
+
+    def scan_many(self, starts: Sequence[int], count: int):
+        return self.store.scan_many(starts, count)
 
 
 # ------------------------------------------------------------- dispatch
@@ -181,11 +191,15 @@ def execute_ops(
     p99.9?" — see ``docs/cost_model.md``).
 
     ``batch_size > 1`` enables batch dispatch: runs of *consecutive
-    same-kind* READ, UPDATE, or INSERT operations are grouped (up to
-    ``batch_size``) and served with a single ``target.get_many`` /
-    ``target.put_many`` call; a kind change (or an RMW/SCAN, which stay
-    scalar) flushes the pending batch so the workload's interleaving
-    semantics are preserved.  Each batched op is recorded at the batch's
+    same-kind* READ, UPDATE, INSERT, or SCAN operations are grouped (up
+    to ``batch_size``) and served with a single ``target.get_many`` /
+    ``target.put_many`` / ``target.scan_many`` call; a kind change (or
+    an RMW, which stays scalar) flushes the pending batch so the
+    workload's interleaving semantics are preserved.  SCAN runs batch
+    only while consecutive ops share the same ``scan_length`` (YCSB
+    draws it per op) and only on scan-capable targets — unsorted
+    targets keep the scalar path so they still fail with
+    :class:`UnsupportedOperationError`.  Each batched op is recorded at the batch's
     amortised per-op latency, so recorder lengths and bytes/op stay
     comparable to ``batch_size=1``.  Batched measurements reach the
     profiler with ``ops=len(batch)`` so its per-op attribution splits
@@ -210,6 +224,8 @@ def execute_ops(
         mark = perf.begin()
         if batch_kind is OpKind.READ:
             target.get_many([op.key for op in batch])
+        elif batch_kind is OpKind.SCAN:
+            target.scan_many([op.key for op in batch], batch[0].scan_length)
         else:
             # Mirrors _do_write: the key doubles as the value.
             target.put_many([(op.key, op.key) for op in batch])
@@ -230,8 +246,17 @@ def execute_ops(
     _BATCHABLE = (OpKind.READ, OpKind.UPDATE, OpKind.INSERT)
 
     for op in ops:
-        if batch_size > 1 and op.kind in _BATCHABLE:
-            if batch and batch_kind is not op.kind:
+        batchable = op.kind in _BATCHABLE or (
+            op.kind is OpKind.SCAN and target.supports_scan
+        )
+        if batch_size > 1 and batchable:
+            if batch and (
+                batch_kind is not op.kind
+                or (
+                    op.kind is OpKind.SCAN
+                    and op.scan_length != batch[0].scan_length
+                )
+            ):
                 total_bytes += flush_batch()
             batch.append(op)
             batch_kind = op.kind

@@ -712,8 +712,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size",
         type=int,
         default=1,
-        help="group runs of consecutive reads into get_many batches and "
-        "consecutive writes into put_many batches of this size "
+        help="group runs of consecutive reads into get_many batches, "
+        "consecutive writes into put_many batches, and consecutive "
+        "same-length scans into scan_many batches of this size "
         "(1 = per-key dispatch)",
     )
     bench.add_argument(
@@ -737,7 +738,13 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--keys", type=int, default=50_000)
     report.add_argument("--ops", type=int, default=20_000)
     report.add_argument("--seed", type=int, default=0)
-    report.add_argument("--batch-size", type=int, default=1)
+    report.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        help="batch consecutive reads/writes/scans (get_many/put_many/"
+        "scan_many) up to this size (1 = per-key dispatch)",
+    )
     report.add_argument(
         "--sample",
         type=float,

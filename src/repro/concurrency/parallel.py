@@ -246,6 +246,13 @@ class _WorkerState:
             items, self.pending_items = self.pending_items, []
             self.target.bulk_load(items)
             return ("obj", len(items))
+        if op == "scan_many":
+            _, n, count = cmd
+            starts = self.seg.keys[:n].tolist()
+            return ("obj", self.target.scan_many(starts, count))
+        if op == "scan_many_pipe":
+            _, starts, count = cmd
+            return ("obj", self.target.scan_many(starts, count))
         if op == "call":
             _, method, args = cmd
             if method == "len":
@@ -340,9 +347,10 @@ def _worker_main(conn, cfg: dict) -> None:
 def _cmd_ops(cmd: tuple) -> int:
     """How many logical operations a command covers (profiler split)."""
     op = cmd[0]
-    if op in ("get_many", "write_many", "bulk_chunk"):
+    if op in ("get_many", "write_many", "bulk_chunk", "scan_many"):
         return cmd[1]
-    if op in ("get_many_pipe", "bulk_chunk_pipe", "write_many_pipe"):
+    if op in ("get_many_pipe", "bulk_chunk_pipe", "write_many_pipe",
+              "scan_many_pipe"):
         return len(cmd[1])
     return 1
 
@@ -638,6 +646,57 @@ class _ParallelEngine:
                 (time.perf_counter() - t0) * 1e9 / len(chunk)
             )
 
+    def _scan_many(
+        self, starts: Sequence[int], count: int, count_ops: bool = False
+    ) -> List[List[Tuple[int, Any]]]:
+        """Batched cross-worker scans via grouped spill rounds.
+
+        Starts open on their home worker; scans still short of ``count``
+        after draining it spill to the next worker, regrouped by
+        ``(worker, remaining)`` so every round ships one command per
+        group.  The per-worker call multiset equals sequential scalar
+        ``scan`` calls, so simulated charges match bit-for-bit.  Start
+        keys ride the shared-memory segment; runs hold ``(key, value)``
+        tuples, so replies always come back over the pipe.
+        """
+        self._ensure_live()
+        starts = list(starts)
+        results: List[List[Tuple[int, Any]]] = [[] for _ in starts]
+        pending = [
+            (i, self.router.shard_of(start), count)
+            for i, start in enumerate(starts)
+        ]
+        while pending:
+            groups: dict = {}
+            for i, w, rem in pending:
+                groups.setdefault((w, rem), []).append(i)
+            pending = []
+            for (w, rem), members in sorted(groups.items()):
+                t0 = time.perf_counter()
+                h = self._handles[w]
+                if count_ops:
+                    self.worker_ops[w] += len(members)
+                runs: List[List[Tuple[int, Any]]] = []
+                step = self._chunk_step(len(members))
+                for lo in range(0, len(members), step):
+                    piece = [starts[i] for i in members[lo : lo + step]]
+                    if self._shm_on:
+                        h.seg.keys[: len(piece)] = np.asarray(
+                            piece, dtype=np.uint64
+                        )
+                        self._send(h, ("scan_many", len(piece), rem))
+                    else:
+                        self._send(h, ("scan_many_pipe", piece, rem))
+                    runs.extend(self._recv(h, "scan_many")[1])
+                for i, run in zip(members, runs):
+                    results[i].extend(run)
+                    if len(results[i]) < count and w + 1 < self.workers:
+                        pending.append((i, w + 1, count - len(results[i])))
+                self.wall_recorder.record(
+                    (time.perf_counter() - t0) * 1e9 / len(members)
+                )
+        return results
+
     def _write_many(
         self, items: Sequence[Tuple[int, Any]], mode: str, want_old: bool
     ) -> Optional[List[Optional[Any]]]:
@@ -889,6 +948,11 @@ class ParallelSortedShardedIndex(ParallelShardedIndex, SortedIndex):
                 break
         return out
 
+    def scan_many(
+        self, starts: Sequence[int], count: int
+    ) -> List[List[Tuple[int, Any]]]:
+        return self._scan_many(starts, count)
+
     def range(self, lo: int, hi: int) -> Iterator[Tuple[int, Any]]:
         for w in range(self.router.shard_of(lo), self.workers):
             yield from self._call(w, ("call", "range", (lo, hi)))
@@ -976,6 +1040,11 @@ class ParallelShardedStore(_ParallelEngine):
             if len(out) >= count:
                 break
         return out
+
+    def scan_many(
+        self, starts: Sequence[int], count: int
+    ) -> List[List[Tuple[int, Any]]]:
+        return self._scan_many(starts, count, count_ops=True)
 
     def gc(self) -> int:
         return sum(self._broadcast(("call", "gc", ())))

@@ -305,6 +305,43 @@ class SortedShardedIndex(ShardedIndex, SortedIndex):
                 break
         return out
 
+    def scan_many(
+        self, starts: Sequence[int], count: int
+    ) -> List[List[Tuple[int, Any]]]:
+        """Batch scan: per-shard vectorized scans merged in shard order.
+
+        Starts are grouped by their first shard and served with one
+        ``scan_many`` per shard; because shards partition the key space
+        by range, concatenating each start's per-shard runs left to right
+        *is* the k-way merge.  Scans that drain their shard spill right
+        exactly like scalar :meth:`scan` — grouped by ``(shard,
+        remaining)`` so each spill is one batched child call — and every
+        child sees the same ``(start, remaining)`` requests sequential
+        scans would issue, so per-shard charge totals stay bit-identical.
+        """
+        results: List[List[Tuple[int, Any]]] = [[] for _ in starts]
+        pending = [
+            (i, self.router.shard_of(start), count)
+            for i, start in enumerate(starts)
+        ]
+        last = len(self.children) - 1
+        while pending:
+            groups: dict = {}
+            for i, shard, rem in pending:
+                groups.setdefault((shard, rem), []).append(i)
+            pending = []
+            for (shard, rem), members in sorted(groups.items()):
+                runs = self.children[shard].scan_many(
+                    [starts[i] for i in members], rem
+                )
+                for i, run in zip(members, runs):
+                    results[i].extend(run)
+                    if len(results[i]) < count and shard < last:
+                        pending.append(
+                            (i, shard + 1, count - len(results[i]))
+                        )
+        return results
+
 
 def sharded_index(
     factory: Callable[[PerfContext], Index],
@@ -418,6 +455,37 @@ class ShardedStore:
             if len(out) >= count:
                 break
         return out
+
+    def scan_many(
+        self, starts: List[int], count: int
+    ) -> List[List[Tuple[int, Any]]]:
+        """Batch cross-shard scan; see ``SortedShardedIndex.scan_many``.
+
+        ``shard_ops`` counts one op per (scan, shard visited), exactly as
+        sequential :meth:`scan` calls would."""
+        results: List[List[Tuple[int, Any]]] = [[] for _ in starts]
+        pending = [
+            (i, self.router.shard_of(start), count)
+            for i, start in enumerate(starts)
+        ]
+        last = self.shards - 1
+        while pending:
+            groups: dict = {}
+            for i, shard, rem in pending:
+                groups.setdefault((shard, rem), []).append(i)
+            pending = []
+            for (shard, rem), members in sorted(groups.items()):
+                self.shard_ops[shard] += len(members)
+                runs = self.stores[shard].scan_many(
+                    [starts[i] for i in members], rem
+                )
+                for i, run in zip(members, runs):
+                    results[i].extend(run)
+                    if len(results[i]) < count and shard < last:
+                        pending.append(
+                            (i, shard + 1, count - len(results[i]))
+                        )
+        return results
 
     def gc(self) -> int:
         return sum(store.gc() for store in self.stores)

@@ -108,6 +108,25 @@ def predict_clamped_many(model, keys_u64, n: int):
     return pred.astype(np.int64)
 
 
+def segment_guesses(params, seg_idx, qs_i64):
+    """``seg.start + seg.predict(q)`` over parallel (query, segment) arrays.
+
+    ``params`` is ``Approximation.param_arrays()``; ``seg_idx`` selects
+    one segment per query.  Mirrors ``LinearModel.predict_clamped``
+    element for element: the int64 key delta is exact (|delta| < 2^63),
+    float64 arithmetic matches Python's scalar promotion, ``np.rint`` is
+    the same round-half-even as builtin ``round``, and the clamp is the
+    per-segment ``[0, n - 1]``.
+    """
+    slope, intercept, base_key, seg_n, seg_start = params
+    pred = np.rint(
+        slope[seg_idx] * (qs_i64 - base_key[seg_idx]).astype(np.float64)
+        + intercept[seg_idx]
+    ).astype(np.int64)
+    np.clip(pred, 0, seg_n[seg_idx] - 1, out=pred)
+    return seg_start[seg_idx] + pred
+
+
 def measure_errors(model, keys_u64, n: int) -> Optional[Tuple[int, int]]:
     """``(max_error, sum_error)`` of ``model`` over its own segment keys.
 

@@ -10,6 +10,7 @@ trade-off.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.approximation.base import LinearModel
@@ -115,6 +116,36 @@ class BufferedLeaf(Leaf):
         self._buf_keys.insert(pos, key)
         self._buf_values.insert(pos, value)
         return InsertResult.INSERTED, None
+
+    def scan_from(self, lo: int, limit: int) -> List[Tuple[int, Any]]:
+        """Bounded two-way merge of the main run and the insert buffer.
+
+        Both sides are bisected to their first key >= ``lo`` and merged
+        only until ``limit`` pairs are out — the ``items()``-based
+        default would materialise and merge the whole leaf first.
+        Charges nothing, like the default it replaces.
+        """
+        out: List[Tuple[int, Any]] = []
+        i = bisect_left(self._keys, lo)
+        j = bisect_left(self._buf_keys, lo)
+        nk, nb = len(self._keys), len(self._buf_keys)
+        while len(out) < limit and i < nk and j < nb:
+            if self._keys[i] <= self._buf_keys[j]:
+                out.append((self._keys[i], self._values[i]))
+                i += 1
+            else:
+                out.append((self._buf_keys[j], self._buf_values[j]))
+                j += 1
+        if len(out) < limit:
+            if i < nk:
+                take = limit - len(out)
+                out.extend(zip(self._keys[i : i + take],
+                               self._values[i : i + take]))
+            elif j < nb:
+                take = limit - len(out)
+                out.extend(zip(self._buf_keys[j : j + take],
+                               self._buf_values[j : j + take]))
+        return out
 
     def items(self) -> List[Tuple[int, Any]]:
         # Two-way merge of main run and buffer.

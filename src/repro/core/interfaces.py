@@ -199,6 +199,22 @@ class SortedIndex(Index):
                 break
         return out
 
+    def scan_many(
+        self, starts: Sequence[Key], count: int
+    ) -> List[List[Tuple[Key, Value]]]:
+        """Batch scan; position ``i`` answers ``scan(starts[i], count)``.
+
+        The default is the per-start loop, so every sorted index
+        satisfies the same contract: the result lists, their order, and
+        the simulated event charges are bit-identical to sequential
+        :meth:`scan` calls.  Indexes whose leaves are contiguous (or
+        gapped-but-compactable) arrays override this with a vectorized
+        path that keeps per-start positioning but extracts each run as a
+        slice copy with one aggregate charge — see
+        ``registry.has_native_batch_scan``.
+        """
+        return [self.scan(start, count) for start in starts]
+
 
 class UpdatableIndex(SortedIndex):
     """Sorted index supporting inserts — the paper's focus class."""

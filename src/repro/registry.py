@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.concurrency.spec import ConcurrencySpec
-from repro.core.interfaces import Index
+from repro.core.interfaces import Index, SortedIndex
 from repro.errors import InvalidConfigurationError, ReproError
 from repro.learned import (
     ALEXIndex,
@@ -279,6 +279,24 @@ def has_native_batch_upsert(index: Union[Index, type]) -> bool:
     """
     cls = index if isinstance(index, type) else type(index)
     return cls.upsert_many is not Index.upsert_many
+
+
+def has_native_batch_scan(index: Union[Index, type]) -> bool:
+    """Whether ``index`` overrides the per-start ``SortedIndex.scan_many``
+    fallback.
+
+    The scan-batch counterpart of :func:`has_native_batch`: the
+    ``scan_many`` contract (tuples, order, and simulated charges
+    bit-identical to sequential ``scan`` calls) holds either way; this
+    only tells benchmarks which sorted indexes have a real vectorized
+    range-extraction path to hold to "faster than scalar".  Always False
+    for unsorted (hash) indexes, which have no scan at all.
+    """
+    cls = index if isinstance(index, type) else type(index)
+    return (
+        issubclass(cls, SortedIndex)
+        and cls.scan_many is not SortedIndex.scan_many
+    )
 
 
 def _bound_factory(
@@ -551,6 +569,7 @@ __all__ = [
     "factories",
     "has_native_batch",
     "has_native_batch_insert",
+    "has_native_batch_scan",
     "has_native_batch_upsert",
     "register",
     "resolve",

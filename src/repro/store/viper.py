@@ -261,6 +261,35 @@ class ViperStore:
                 break
         return out
 
+    def scan_many(
+        self, starts: List[int], count: int
+    ) -> List[List[Tuple[int, Any]]]:
+        """Batch scan: one index batch scan, then batched NVM record reads.
+
+        The index side goes through ``Index.scan_many`` (bit-identical to
+        sequential ``scan`` calls, vectorized where the index has a
+        native path) and every hit's record comes back via one
+        ``PMemDevice.read_records`` call whose ``NVM_READ`` total matches
+        the per-record reads of sequential :meth:`scan` calls.
+        """
+        self._check_alive()
+        if not isinstance(self.index, SortedIndex):
+            raise UnsupportedOperationError(
+                f"{self.index.name} cannot serve ordered scans"
+            )
+        runs = self.index.scan_many(starts, count)
+        records = self.device.read_records(
+            [location for run in runs for _, location in run]
+        )
+        out: List[List[Tuple[int, Any]]] = []
+        i = 0
+        for run in runs:
+            out.append(
+                [(key, records[i + j][1]) for j, (key, _) in enumerate(run)]
+            )
+            i += len(run)
+        return out
+
     def __len__(self) -> int:
         return self._n
 

@@ -1,0 +1,264 @@
+"""Bit-identity contract for the vectorized scan engine.
+
+``scan_many(starts, count)`` must be indistinguishable from the scalar
+``scan`` loop everywhere it is offered: same tuples, same order, and the
+same simulated hardware charges (counter deltas compare equal) — for
+every sorted registry spec, flat and through the Viper store, under
+in-process sharding and the process-parallel engine.  Edge cases pinned
+here: scans spanning leaf boundaries, empty ranges past the last key,
+duplicate start keys, post-insert buffers, and hash indexes failing with
+:class:`UnsupportedOperationError`, never ``AttributeError``.
+"""
+
+import random
+
+import pytest
+
+from repro import PerfContext, ViperStore
+from repro.bench.runner import IndexAdapter, execute_ops
+from repro.concurrency.parallel import parallel_sharded_index
+from repro.concurrency.sharding import ShardedStore, sharded_index
+from repro.core.interfaces import SortedIndex
+from repro.errors import UnsupportedOperationError
+from repro.registry import has_native_batch_scan, resolve, specs
+from repro.workloads.ycsb import Operation, OpKind
+
+SPECS = list(specs())
+SHARD_COUNTS = (1, 2, 7)
+WORKER_COUNTS = (1, 2, 4)
+
+N_KEYS = 2000
+
+
+def _spec_params():
+    return [pytest.param(spec, id=spec.name) for spec in SPECS]
+
+
+def _keys(n=N_KEYS, seed=4321):
+    rng = random.Random(seed)
+    return sorted(rng.sample(range(1, 2**48), n))
+
+
+def _start_batches(keys, n=80):
+    """Start-key batches covering the contract's edge cases."""
+    rng = random.Random(17)
+    present = rng.sample(keys, n)
+    return {
+        "random": present,
+        "duplicates": present[:20] * 4,
+        "between_keys": [k + 1 for k in present[: n // 2]],
+        "below_min": [0, max(0, keys[0] - 1)],
+        "past_max": [keys[-1] + 1, keys[-1] + 10_000],  # empty ranges
+        "empty": [],
+    }
+
+
+def _assert_parity(obj, perf, starts, count, label=""):
+    """scan_many == sequential scan in results AND charge deltas."""
+    mark = perf.begin()
+    scalar = [obj.scan(start, count) for start in starts]
+    scalar_delta = perf.end(mark).counters
+    mark = perf.begin()
+    batched = obj.scan_many(starts, count)
+    batched_delta = perf.end(mark).counters
+    assert batched == scalar, (label, count)
+    assert batched_delta == scalar_delta, (label, count)
+
+
+# --------------------------------------------------------------- flat
+
+
+class TestFlatIndex:
+    @pytest.mark.parametrize("spec", _spec_params())
+    def test_scan_many_matches_scalar(self, spec):
+        perf = PerfContext()
+        index = spec.build(perf)
+        if not isinstance(index, SortedIndex):
+            pytest.skip("hash index: covered by the raising tests")
+        keys = _keys()
+        index.bulk_load([(k, k * 3) for k in keys])
+        batches = _start_batches(keys)
+        # count=300 spans several leaves; count<=0 keeps the scalar
+        # quirk (at most one item); 1 and 50 are the YCSB-E shapes.
+        for label, starts in batches.items():
+            for count in (0, 1, 50, 300):
+                _assert_parity(index, perf, starts, count, label)
+
+    @pytest.mark.parametrize("spec", _spec_params())
+    def test_scan_many_after_inserts(self, spec):
+        """Parity survives mutation: buffers, gaps, bins, splits."""
+        perf = PerfContext()
+        index = spec.build(perf)
+        if not isinstance(index, SortedIndex):
+            pytest.skip("hash index: covered by the raising tests")
+        if not index.capabilities().updatable:
+            pytest.skip(f"{spec.name} is read-only")
+        keys = _keys()
+        index.bulk_load([(k, k * 3) for k in keys])
+        rng = random.Random(7)
+        key_set = set(keys)
+        fresh = [
+            k for k in rng.sample(range(1, 2**48), 600) if k not in key_set
+        ]
+        for k in fresh:
+            index.insert(k, -k)
+        starts = rng.sample(fresh, 40) + rng.sample(keys, 40)
+        for count in (1, 50, 300):
+            _assert_parity(index, perf, starts, count, "post-insert")
+
+    def test_leaf_boundary_span_returns_global_order(self):
+        """One scan crossing many leaves equals the sorted-items slice."""
+        perf = PerfContext()
+        index = resolve("ALEX").build(perf)
+        keys = _keys()
+        items = [(k, k * 3) for k in keys]
+        index.bulk_load(items)
+        (run,) = index.scan_many([keys[5]], 700)
+        assert run == items[5 : 5 + 700]
+
+    def test_registry_flags_native_batch_scan(self):
+        flagged = set()
+        for spec in SPECS:
+            index = spec.build(PerfContext())
+            if has_native_batch_scan(index):
+                flagged.add(spec.name)
+        # The vectorized paths must be recognised as native...
+        assert {"PGM-static", "RS", "BTree", "ALEX", "XIndex"} <= flagged
+        # ...fallback-only sorted indexes and hash indexes must not be.
+        assert "Skiplist" not in flagged
+        assert "CCEH" not in flagged
+
+
+# --------------------------------------------------------------- store
+
+
+@pytest.mark.parametrize("name", ["PGM-static", "ALEX", "BTree"])
+def test_store_scan_many_matches_scalar(name):
+    perf = PerfContext()
+    store = ViperStore(resolve(name).build(perf), perf)
+    keys = _keys()
+    store.bulk_load([(k, k * 3) for k in keys])
+    starts = _start_batches(keys)["random"]
+    for count in (0, 1, 50, 300):
+        _assert_parity(store, perf, starts, count, f"viper[{name}]")
+
+
+# ------------------------------------------------------------- sharded
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("spec", _spec_params())
+def test_sharded_scan_many_matches_scalar(spec, shards):
+    perf = PerfContext()
+    probe = spec.build(PerfContext())
+    if not isinstance(probe, SortedIndex):
+        pytest.skip("hash index: covered by the raising tests")
+    index = sharded_index(spec, shards, perf=perf)
+    keys = _keys(1200)
+    index.bulk_load([(k, k * 3) for k in keys])
+    rng = random.Random(23)
+    starts = rng.sample(keys, 50) + [0, keys[-1] + 5] + [keys[3]] * 4
+    # count=400 forces cross-shard spill at every shard count > 1.
+    for count in (0, 1, 50, 400):
+        _assert_parity(index, perf, starts, count, f"x{shards}")
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_sharded_store_scan_many_matches_scalar(shards):
+    perf = PerfContext()
+    store = ShardedStore(resolve("BTree"), shards, perf=perf)
+    keys = _keys(1200)
+    store.bulk_load([(k, k * 3) for k in keys])
+    rng = random.Random(29)
+    starts = rng.sample(keys, 50) + [0, keys[-1] + 5] + [keys[3]] * 4
+    before = list(store.shard_ops)
+    store.scan_many(starts, 50)
+    mid = list(store.shard_ops)
+    for start in starts:
+        store.scan(start, 50)
+    after = list(store.shard_ops)
+    # Batched and scalar visit the same shards the same number of times.
+    assert [m - b for m, b in zip(mid, before)] == [
+        a - m for a, m in zip(after, mid)
+    ]
+    for count in (0, 1, 50, 400):
+        _assert_parity(store, perf, starts, count, f"store x{shards}")
+
+
+# ------------------------------------------------------------ parallel
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("name", ["PGM-static", "ALEX", "BTree"])
+def test_parallel_scan_many_matches_scalar(name, workers):
+    perf = PerfContext()
+    engine = parallel_sharded_index(resolve(name), workers, perf=perf)
+    try:
+        keys = _keys(1000)
+        engine.bulk_load([(k, k * 3) for k in keys])
+        rng = random.Random(31)
+        starts = rng.sample(keys, 40) + [0, keys[-1] + 5] + [keys[3]] * 3
+        for count in (0, 1, 50, 400):
+            _assert_parity(engine, perf, starts, count, f"workers={workers}")
+    finally:
+        engine.close()
+
+
+# ------------------------------------------------------------- raising
+
+
+def _hash_specs():
+    return [
+        spec
+        for spec in SPECS
+        if not isinstance(spec.build(PerfContext()), SortedIndex)
+    ]
+
+
+def test_hash_store_scan_many_raises_cleanly():
+    assert _hash_specs(), "registry lost its hash index?"
+    for spec in _hash_specs():
+        perf = PerfContext()
+        store = ViperStore(spec.build(perf), perf)
+        store.bulk_load([(k, k) for k in range(1, 200)])
+        with pytest.raises(UnsupportedOperationError):
+            store.scan_many([5, 50], 10)
+
+
+def test_hash_index_batched_executor_raises_cleanly():
+    """SCAN stays on the scalar path for unsorted targets, so a batched
+    run still fails with the domain error, not ``AttributeError``."""
+    for spec in _hash_specs():
+        perf = PerfContext()
+        index = spec.build(perf)
+        index.bulk_load([(k, k) for k in range(1, 200)])
+        ops = [Operation(OpKind.SCAN, key=5, scan_length=10)]
+        with pytest.raises(UnsupportedOperationError):
+            execute_ops(IndexAdapter(index), ops, perf, batch_size=8)
+
+
+# ------------------------------------------------------------- executor
+
+
+def test_executor_batches_scans_with_identical_accounting():
+    """Batched SCAN dispatch records the same op count, per-kind rows,
+    and simulated charges as the scalar loop."""
+    perf = PerfContext()
+    index = resolve("PGM-static").build(perf)
+    keys = _keys(1500)
+    index.bulk_load([(k, k) for k in keys])
+    rng = random.Random(41)
+    ops = [
+        Operation(OpKind.SCAN, key=rng.choice(keys), scan_length=rng.randrange(1, 51))
+        for _ in range(300)
+    ]
+    mark = perf.begin()
+    scalar_result = execute_ops(IndexAdapter(index), ops, perf, batch_size=1)
+    scalar_delta = perf.end(mark).counters
+    mark = perf.begin()
+    batched_result = execute_ops(IndexAdapter(index), ops, perf, batch_size=64)
+    batched_delta = perf.end(mark).counters
+    assert batched_delta == scalar_delta
+    assert len(batched_result.recorder) == len(scalar_result.recorder)
+    assert set(batched_result.by_kind) == {OpKind.SCAN}
+    assert len(batched_result.by_kind[OpKind.SCAN]) == len(ops)
