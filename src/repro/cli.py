@@ -28,13 +28,19 @@ from repro.concurrency import (
 )
 from repro.concurrency.parallel import measure_scaling
 from repro.obs import (
+    EngineTopView,
     EventType,
     JsonlTraceSink,
     MetricsRegistry,
     ProgressReporter,
+    SpanRecorder,
     Tracer,
+    attribute_spans,
     prometheus_text,
+    summarize_spans,
     trace_summary,
+    write_chrome_trace,
+    write_spans_jsonl,
 )
 from repro.perf import Profiler
 from repro.registry import UnknownIndexError
@@ -115,7 +121,15 @@ def _parse_threads(text: str) -> list:
     return counts
 
 
-def _build_store(spec, perf, shards: int, workers: int = 1, trace_rate: float = 0.0):
+def _build_store(
+    spec,
+    perf,
+    shards: int,
+    workers: int = 1,
+    trace_rate: float = 0.0,
+    span_rate: float = 0.0,
+    stall_threshold_s: float = 5.0,
+):
     """One ViperStore, K in-process shards, or N worker processes.
 
     ``--workers N`` builds the process-parallel engine
@@ -124,10 +138,18 @@ def _build_store(spec, perf, shards: int, workers: int = 1, trace_rate: float = 
     Simulated charges still land on ``perf`` — workers ship their
     counter deltas back with every reply — so the report below is
     unchanged; wall-clock rows are what the extra processes buy.
+    ``span_rate > 0`` additionally records causal span trees
+    (:mod:`repro.obs.spans`) across the parent and all workers.
     """
     if workers > 1:
         return parallel_sharded_store(
-            spec, workers, shards=shards, perf=perf, trace_rate=trace_rate
+            spec,
+            workers,
+            shards=shards,
+            perf=perf,
+            trace_rate=trace_rate,
+            span_rate=span_rate,
+            stall_threshold_s=stall_threshold_s,
         )
     if shards > 1:
         return ShardedStore(spec.build, shards, perf=perf)
@@ -294,6 +316,59 @@ def _worker_balance_table(store: ParallelShardedStore) -> str:
     )
 
 
+def _worker_health_table(store: ParallelShardedStore) -> str:
+    body = [
+        [
+            row["worker"],
+            f"{row['cmds_sent']:,}",
+            f"{row['cmds_done']:,}",
+            f"{row['hb_busy_ms']:.1f}",
+            (
+                f"{row['last_reply_age_s']:.2f}s"
+                if row["last_reply_age_s"] is not None
+                else "-"
+            ),
+            f"{row['stalls']:,}" + (" (stalled)" if row["stalled"] else ""),
+        ]
+        for row in store.health.snapshot()
+    ]
+    return format_table(
+        ["worker", "sent", "done", "busy ms", "last reply", "stalls"],
+        body,
+        title=f"Worker health ({store.workers} processes, stall threshold "
+        f"{store.health.stall_threshold_s:g}s)",
+    )
+
+
+def _span_report(all_spans, quantile: float) -> str:
+    """Span summary + tail-latency attribution over the wall-clock trees."""
+    summary = summarize_spans(all_spans)
+    body = []
+    for kind in ("request", "batch", "shard", "worker", "event"):
+        agg = summary.get(kind)
+        if agg:
+            body.append(
+                [kind, f"{agg['spans']:,}", f"{agg['dur_ns'] / 1e6:.2f}"]
+            )
+    for etype, n in sorted(summary.get("events", {}).items()):
+        body.append([f"  event:{etype}", f"{n:,}", "-"])
+    text = format_table(
+        ["kind", "spans", "total ms"],
+        body or [["(no spans recorded)", "-", "-"]],
+        title="Causal spans",
+    )
+    wall = [s for s in all_spans if s.clock == "wall"]
+    result = attribute_spans(wall, quantile=quantile)
+    if result.tail:
+        text += (
+            f"\n\nTail-latency attribution (slowest "
+            f"{100 * (1 - quantile):g}% of {len(result.requests):,} "
+            f"wall-clock requests)\n"
+        )
+        text += result.table()
+    return text
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     try:
         spec = registry.resolve(args.index)
@@ -415,6 +490,14 @@ def cmd_report(args: argparse.Namespace) -> int:
         workload, args.ops, load, insert_pool, seed=args.seed
     )
 
+    if args.spans and args.workers < 2:
+        print(
+            "--spans needs --workers >= 2 (span tracing instruments the "
+            "process-parallel serving engine)",
+            file=sys.stderr,
+        )
+        return 2
+
     perf = PerfContext()
     tracer = Tracer(rate=args.sample, seed=args.seed)
     perf.tracer = tracer
@@ -424,16 +507,27 @@ def cmd_report(args: argparse.Namespace) -> int:
         tracer.add_sink(sink)
     metrics = MetricsRegistry()
     profiler = Profiler(perf)
-    progress = (
-        ProgressReporter(total=len(ops), every=max(1, len(ops) // 20))
-        if args.progress
-        else None
-    )
 
     store = _build_store(
-        spec, perf, args.shards, args.workers, trace_rate=args.sample
+        spec,
+        perf,
+        args.shards,
+        args.workers,
+        trace_rate=args.sample,
+        span_rate=args.span_sample if args.spans else 0.0,
+        stall_threshold_s=args.stall_threshold,
     )
     parallel = isinstance(store, ParallelShardedStore)
+    if args.top and parallel:
+        progress = EngineTopView(
+            store, total=len(ops), every=max(1, len(ops) // 20)
+        )
+    elif args.progress:
+        progress = ProgressReporter(total=len(ops), every=max(1, len(ops) // 20))
+    else:
+        progress = None
+    all_spans = []
+    health_text = ""
     try:
         mark = perf.begin()
         store.bulk_load([(k, k) for k in load])
@@ -449,10 +543,18 @@ def cmd_report(args: argparse.Namespace) -> int:
         )
         recorder = result.recorder
         if parallel:
-            # Fold worker-side lifecycle events, metric series, and
-            # profiler ledgers into the parent's instruments before any
-            # of them are summarised below.
-            store.drain_obs(tracer=tracer, metrics=metrics, profiler=profiler)
+            # Fold worker-side lifecycle events, metric series, profiler
+            # ledgers, and worker/event spans into the parent's
+            # instruments before any of them are summarised below.
+            store.drain_obs(
+                tracer=tracer,
+                metrics=metrics,
+                profiler=profiler,
+                spans=store.spans,
+            )
+            if store.spans is not None:
+                all_spans = list(store.spans.spans)
+            health_text = _worker_health_table(store)
             index_stats = store.stats()
         else:
             index_stats = store.index.stats() if args.shards == 1 else None
@@ -468,6 +570,14 @@ def cmd_report(args: argparse.Namespace) -> int:
         if args.projection == "sim":
             from repro.concurrency import OpProfile, simulate_scaling
 
+            sim_spans = None
+            if args.spans:
+                # Simulated op spans share the exporters with the
+                # measured trees; the "sim" prefix and clock keep the
+                # two diffable inside one file.
+                sim_spans = SpanRecorder(
+                    rate=args.span_sample, seed=args.seed, prefix="sim"
+                )
             write_fraction = workload.update + workload.insert + workload.rmw
             retrain_every, retrain_stall_ns = retrain
             results = simulate_scaling(
@@ -484,7 +594,10 @@ def cmd_report(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 tracer=tracer,
                 index_name=spec.name,
+                spans=sim_spans,
             )
+            if sim_spans is not None:
+                all_spans.extend(sim_spans.spans)
             scaling_text = format_table(
                 [
                     "threads",
@@ -584,9 +697,15 @@ def cmd_report(args: argparse.Namespace) -> int:
     if parallel:
         print()
         print(_worker_balance_table(store))
+        if health_text:
+            print()
+            print(health_text)
     elif args.shards > 1:
         print()
         print(_shard_balance_table(store))
+    if args.spans:
+        print()
+        print(_span_report(all_spans, args.span_quantile))
     if index_stats is not None:
         stats = index_stats
         print()
@@ -618,6 +737,15 @@ def cmd_report(args: argparse.Namespace) -> int:
         print(f"\nwrote Prometheus exposition to {args.prom_out}")
     if args.trace_out:
         print(f"wrote JSONL trace to {args.trace_out}")
+    if args.span_out:
+        n = write_spans_jsonl(all_spans, args.span_out)
+        print(f"wrote {n} spans to {args.span_out}")
+    if args.chrome_out:
+        n = write_chrome_trace(all_spans, args.chrome_out)
+        print(
+            f"wrote {n} Chrome trace events to {args.chrome_out} "
+            "(open in chrome://tracing or ui.perfetto.dev)"
+        )
     return 0
 
 
@@ -764,6 +892,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress",
         action="store_true",
         help="print live progress/throughput lines to stderr",
+    )
+    report.add_argument(
+        "--spans",
+        action="store_true",
+        help="record causal span trees (request -> batch -> shard -> "
+        "worker -> event) through the parallel engine; needs --workers >= 2",
+    )
+    report.add_argument(
+        "--span-sample",
+        type=float,
+        default=1.0,
+        help="head-based span sampling rate in [0, 1]: a request is "
+        "recorded whole or not at all (request counts stay exact)",
+    )
+    report.add_argument(
+        "--span-quantile",
+        type=float,
+        default=0.9,
+        help="attribute the slowest (1 - q) fraction of requests in the "
+        "tail-latency table (default 0.9 = slowest 10%%)",
+    )
+    report.add_argument(
+        "--span-out", default="", help="write recorded spans as JSONL"
+    )
+    report.add_argument(
+        "--chrome-out",
+        default="",
+        help="write recorded spans as Chrome trace-event JSON "
+        "(chrome://tracing / ui.perfetto.dev)",
+    )
+    report.add_argument(
+        "--top",
+        action="store_true",
+        help="live `top`-style line on stderr: progress plus per-worker "
+        "health while the run executes (parallel engine only)",
+    )
+    report.add_argument(
+        "--stall-threshold",
+        type=float,
+        default=5.0,
+        help="seconds a worker command may stay unanswered before the "
+        "worker is flagged stalled (default 5)",
     )
     _add_concurrency_flags(report)
 

@@ -41,11 +41,25 @@ Each worker runs its own :class:`~repro.obs.trace.Tracer`,
 back and merges into parent-side instances (``Tracer.absorb``,
 ``MetricsRegistry.merge_from``, ``Profiler.absorb``) so ``repro report
 --workers K`` shows one unified lifecycle/metrics view.
+
+With ``span_rate > 0`` the engine additionally records a **causal span
+tree** per sampled request (:mod:`repro.obs.spans`): the request span
+fans into batch and shard spans parent-side, the shard's span id rides
+the command tuple as ``("traced", span_id, cmd)``, and the worker opens
+a worker-kind child span around ``serve`` so tracer lifecycle events
+(RETRAIN, LATCH_WAIT, ...) attach to the originating request after
+:meth:`drain_obs`.  Tracing off (``span_rate=0.0``, the default) takes
+a single ``is None`` branch per request — the shipment hot loops are
+untouched.  Independently, a :class:`~repro.obs.health.HealthMonitor`
+keeps per-worker heartbeats (piggybacked on every reply), flags stalls
+past a threshold, and feeds each worker's flight-recorder ring into
+:class:`~repro.errors.WorkerDiedError` postmortems.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import sys
 import time
 import traceback
 import weakref
@@ -66,7 +80,14 @@ from repro.concurrency.sharding import (
 )
 from repro.core.interfaces import Index, IndexStats, SortedIndex
 from repro.errors import ReproError, WorkerDiedError
+from repro.obs.health import (
+    DEFAULT_FLIGHT_CAPACITY,
+    DEFAULT_STALL_THRESHOLD_S,
+    HealthMonitor,
+    format_flight,
+)
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Span, SpanRecorder
 from repro.obs.trace import Tracer
 from repro.perf.breakdown import Profiler
 from repro.perf.context import PerfContext
@@ -145,6 +166,20 @@ class _WorkerState:
             self.perf.tracer = self.tracer
         self.metrics = MetricsRegistry()
         self.profiler = Profiler(self.perf)
+        # Span recorder: rate 1.0 worker-side — the head-based sampling
+        # decision was already made by the parent; a command only
+        # arrives traced when its request was sampled.  The seed offset
+        # keeps recorders distinct; the prefix keeps ids globally unique.
+        self.spans: Optional[SpanRecorder] = None
+        if cfg.get("spans"):
+            self.spans = SpanRecorder(
+                rate=1.0,
+                seed=cfg["seed"] + 101 * (self.worker_id + 1),
+                prefix=f"w{self.worker_id}",
+                worker=self.worker_id,
+            )
+            if self.tracer is not None:
+                self.spans.bind_tracer(self.tracer)
 
         spec = resolve(cfg["spec"])
         overrides = cfg["overrides"]
@@ -289,6 +324,7 @@ class _WorkerState:
             "metrics": self.metrics,
             "profiler_counters": self.profiler.total,
             "profiler_ops": self.profiler.op_count,
+            "spans": list(self.spans.spans) if self.spans else [],
         }
 
     def close(self) -> None:
@@ -309,37 +345,59 @@ def _worker_main(conn, cfg: dict) -> None:
         finally:
             conn.close()
         return
-    conn.send(("ok", ("obj", "ready"), None, 0.0))
+    conn.send(("ok", ("obj", "ready"), None, 0.0, None))
     ops_total = state.metrics.counter(
         "repro_worker_cmds_total", worker=str(state.worker_id)
     )
     wall_hist = state.metrics.histogram(
         "repro_worker_cmd_wall_ns", worker=str(state.worker_id)
     )
+    served = 0
+    busy_ns = 0.0
     while True:
         try:
             cmd = conn.recv()
         except (EOFError, OSError):
             break
         if cmd[0] == "close":
-            conn.send(("ok", ("obj", None), None, 0.0))
+            conn.send(("ok", ("obj", None), None, 0.0, (served, busy_ns)))
             break
+        # Span-context propagation: a traced envelope carries the
+        # parent-side shard span id; the worker span nests under it.
+        span_ctx = None
+        if cmd[0] == "traced":
+            _, span_ctx, cmd = cmd
+        wspan = None
+        if state.spans is not None and span_ctx is not None:
+            wspan = state.spans.start(
+                f"cmd:{cmd[0]}", "worker", parent=span_ctx
+            )
+            state.spans.current = wspan
         t0 = time.perf_counter()
         mark = state.perf.begin()
         try:
             meta = state.serve(cmd)
         except BaseException as exc:
+            if state.spans is not None:
+                state.spans.current = None
             conn.send(("err", _pickle_safe(exc), traceback.format_exc()))
             continue
         measured = state.perf.end(mark)
         wall_ns = (time.perf_counter() - t0) * 1e9
+        if wspan is not None:
+            state.spans.current = None
+            state.spans.finish(
+                wspan, ops=_cmd_ops(cmd), sim_ns=measured.time_ns
+            )
         ops_total.inc()
         wall_hist.record(wall_ns)
         state.profiler.record_measured(
             cmd[0], measured, ops=_cmd_ops(cmd) or 1
         )
         delta = {k: v for k, v in measured.counters.as_dict().items() if v}
-        conn.send(("ok", meta, delta, wall_ns))
+        served += 1
+        busy_ns += wall_ns
+        conn.send(("ok", meta, delta, wall_ns, (served, busy_ns)))
     state.close()
     conn.close()
 
@@ -424,6 +482,9 @@ class _ParallelEngine:
         capacity: int = DEFAULT_CAPACITY,
         transport: str = "auto",
         trace_rate: float = 0.0,
+        span_rate: float = 0.0,
+        stall_threshold_s: float = DEFAULT_STALL_THRESHOLD_S,
+        flight_capacity: int = DEFAULT_FLIGHT_CAPACITY,
         seed: int = 0,
         store: bool = False,
         record_bytes: int = 208,
@@ -459,6 +520,21 @@ class _ParallelEngine:
         self.worker_ops = [0] * workers
         #: Worker-reported wall ns spent serving commands.
         self.busy_ns = [0.0] * workers
+        #: Causal span recorder (None = tracing off: no per-request cost
+        #: beyond one ``is None`` check).
+        self.spans: Optional[SpanRecorder] = (
+            SpanRecorder(rate=span_rate, seed=seed, prefix="p")
+            if span_rate > 0.0
+            else None
+        )
+        #: Heartbeats, stall detection, flight recorders (always on —
+        #: it only touches the per-command send/reply path).
+        self.health = HealthMonitor(
+            workers,
+            stall_threshold_s=stall_threshold_s,
+            flight_capacity=flight_capacity,
+        )
+        self._broken_err: Optional[WorkerDiedError] = None
 
         methods = multiprocessing.get_all_start_methods()
         start_method = "fork" if "fork" in methods else "spawn"
@@ -493,6 +569,7 @@ class _ParallelEngine:
                     "capacity": capacity,
                     "start_method": start_method,
                     "trace_rate": trace_rate,
+                    "spans": span_rate > 0.0,
                     "seed": seed,
                 }
                 parent_conn, child_conn = ctx.Pipe()
@@ -523,40 +600,70 @@ class _ParallelEngine:
         if self._closed:
             raise ReproError("parallel engine is closed")
         if self._broken:
+            if self._broken_err is not None:
+                raise self._broken_err
             raise WorkerDiedError(self._broken)
 
     def _send(self, h: _WorkerHandle, cmd: tuple) -> None:
+        if cmd[0] == "traced":
+            name, span_id = cmd[2][0], cmd[1]
+        else:
+            name, span_id = cmd[0], None
+        self.health.sent(h.worker_id, name, span_id=span_id)
         try:
             h.conn.send(cmd)
         except (BrokenPipeError, OSError):
-            self._died(h, cmd[0])
+            self._died(h, name)
 
     def _died(self, h: _WorkerHandle, cmd_name: str):
         h.proc.join(timeout=1)
-        self._broken = (
+        self.health.died(h.worker_id)
+        flight = self.health.flight(h.worker_id)
+        msg = (
             f"shard worker {h.worker_id} (pid {h.proc.pid}) died with exit "
             f"code {h.proc.exitcode} while serving {cmd_name!r}; the "
             f"engine cannot answer further operations"
         )
-        raise WorkerDiedError(self._broken)
+        if flight:
+            msg += "\nflight recorder (most recent last):\n" + format_flight(
+                flight
+            )
+        self._broken = msg
+        self._broken_err = WorkerDiedError(
+            msg,
+            worker_id=h.worker_id,
+            pid=h.proc.pid,
+            exitcode=h.proc.exitcode,
+            flight=[e.to_dict() for e in flight],
+        )
+        raise self._broken_err
 
     def _recv(self, h: _WorkerHandle, cmd_name: str):
         """One reply; surfaces worker death instead of hanging forever."""
         while not h.conn.poll(0.05):
             if not h.proc.is_alive():
                 self._died(h, cmd_name)
+            if self.health.waiting(h.worker_id):
+                print(
+                    f"[repro] shard worker {h.worker_id} stalled: no reply "
+                    f"for {self.health.stall_threshold_s:.1f}s while serving "
+                    f"{cmd_name!r}",
+                    file=sys.stderr,
+                )
         try:
             reply = h.conn.recv()
         except (EOFError, OSError):
             self._died(h, cmd_name)
         if reply[0] == "err":
             _, exc, tb = reply
+            self.health.reply(h.worker_id, 0.0, None)
             if exc is not None:
                 raise exc
             raise ReproError(
                 f"shard worker {h.worker_id} failed serving {cmd_name!r}:\n{tb}"
             )
-        _, meta, delta, wall_ns = reply
+        _, meta, delta, wall_ns, heartbeat = reply
+        self.health.reply(h.worker_id, wall_ns, heartbeat)
         if delta:
             counters = self.perf.counters
             for name, v in delta.items():
@@ -564,11 +671,37 @@ class _ParallelEngine:
         self.busy_ns[h.worker_id] += wall_ns
         return meta
 
+    # -- span plumbing -------------------------------------------------
+
+    def _req_span(self, name: str, **attrs) -> Optional[Span]:
+        """Open a request-root span, or None (tracing off / not sampled)."""
+        if self.spans is None or not self.spans.sample():
+            return None
+        return self.spans.start(f"request:{name}", "request", **attrs)
+
+    @staticmethod
+    def _wrap(cmd: tuple, shard_span: Optional[Span]) -> tuple:
+        """Envelope ``cmd`` with the shard span id when the request is
+        sampled; untraced commands ship unwrapped (no-op fast path)."""
+        if shard_span is None:
+            return cmd
+        return ("traced", shard_span.span_id, cmd)
+
     def _call(self, w: int, cmd: tuple):
         self._ensure_live()
+        name = cmd[1] if cmd[0] == "call" else cmd[0]
+        req = self._req_span(name, worker=w)
         h = self._handles[w]
-        self._send(h, cmd)
+        sspan = None
+        if req is not None:
+            sspan = self.spans.start(
+                f"shard:{w}", "shard", parent=req.span_id, worker=w
+            )
+        self._send(h, self._wrap(cmd, sspan))
         meta = self._recv(h, cmd[0])
+        if req is not None:
+            self.spans.finish(sspan)
+            self.spans.finish(req)
         return meta[1] if meta[0] == "obj" else meta
 
     def _broadcast(self, cmd: tuple) -> List[Any]:
@@ -606,18 +739,27 @@ class _ParallelEngine:
     def _get_many(self, keys: Sequence[int]) -> List[Optional[Any]]:
         self._ensure_live()
         keys = list(keys)
+        req = self._req_span("get_many", ops=len(keys))
         out: List[Optional[Any]] = [None] * len(keys)
         step = self._chunk_step(len(keys))
         for lo in range(0, len(keys), step):
-            self._get_chunk(keys[lo : lo + step], out, lo)
+            self._get_chunk(keys[lo : lo + step], out, lo, req)
+        if req is not None:
+            self.spans.finish(req)
         return out
 
-    def _get_chunk(self, chunk, out, base) -> None:
+    def _get_chunk(self, chunk, out, base, req: Optional[Span] = None) -> None:
         t0 = time.perf_counter()
+        batch = None
+        if req is not None:
+            batch = self.spans.start(
+                "batch:get", "batch", parent=req.span_id, base=base,
+                ops=len(chunk),
+            )
         order, sorted_keys, counts = self._scatter(
             np.asarray(chunk, dtype=np.uint64)
         )
-        active: List[Tuple[_WorkerHandle, int]] = []
+        active: List[Tuple[_WorkerHandle, int, Optional[Span]]] = []
         off = 0
         for w, n in enumerate(counts):
             if not n:
@@ -626,21 +768,33 @@ class _ParallelEngine:
             self.worker_ops[w] += n
             piece = sorted_keys[off : off + n]
             off += n
+            sspan = None
+            if batch is not None:
+                sspan = self.spans.start(
+                    f"shard:{w}", "shard", parent=batch.span_id, worker=w,
+                    ops=n,
+                )
             if self._shm_on:
                 h.seg.keys[:n] = piece
-                self._send(h, ("get_many", n))
+                self._send(h, self._wrap(("get_many", n), sspan))
             else:
-                self._send(h, ("get_many_pipe", piece.tolist()))
-            active.append((h, n))
+                self._send(
+                    h, self._wrap(("get_many_pipe", piece.tolist()), sspan)
+                )
+            active.append((h, n, sspan))
         gathered: List[Any] = []
-        for h, n in active:
+        for h, n, sspan in active:
             meta = self._recv(h, "get_many")
+            if sspan is not None:
+                self.spans.finish(sspan)
             gathered.extend(self._decode_values(h, meta, n))
         if order is None:
             out[base : base + len(gathered)] = gathered
         else:
             for pos, v in zip(order.tolist(), gathered):
                 out[base + pos] = v
+        if batch is not None:
+            self.spans.finish(batch)
         if chunk:
             self.wall_recorder.record(
                 (time.perf_counter() - t0) * 1e9 / len(chunk)
@@ -661,12 +815,21 @@ class _ParallelEngine:
         """
         self._ensure_live()
         starts = list(starts)
+        req = self._req_span("scan_many", ops=len(starts), count=count)
         results: List[List[Tuple[int, Any]]] = [[] for _ in starts]
         pending = [
             (i, self.router.shard_of(start), count)
             for i, start in enumerate(starts)
         ]
+        spill_round = 0
         while pending:
+            batch = None
+            if req is not None:
+                batch = self.spans.start(
+                    f"batch:scan-round{spill_round}", "batch",
+                    parent=req.span_id, ops=len(pending),
+                )
+            spill_round += 1
             groups: dict = {}
             for i, w, rem in pending:
                 groups.setdefault((w, rem), []).append(i)
@@ -680,14 +843,27 @@ class _ParallelEngine:
                 step = self._chunk_step(len(members))
                 for lo in range(0, len(members), step):
                     piece = [starts[i] for i in members[lo : lo + step]]
+                    sspan = None
+                    if batch is not None:
+                        sspan = self.spans.start(
+                            f"shard:{w}", "shard", parent=batch.span_id,
+                            worker=w, ops=len(piece),
+                        )
                     if self._shm_on:
                         h.seg.keys[: len(piece)] = np.asarray(
                             piece, dtype=np.uint64
                         )
-                        self._send(h, ("scan_many", len(piece), rem))
+                        self._send(
+                            h,
+                            self._wrap(("scan_many", len(piece), rem), sspan),
+                        )
                     else:
-                        self._send(h, ("scan_many_pipe", piece, rem))
+                        self._send(
+                            h, self._wrap(("scan_many_pipe", piece, rem), sspan)
+                        )
                     runs.extend(self._recv(h, "scan_many")[1])
+                    if sspan is not None:
+                        self.spans.finish(sspan)
                 for i, run in zip(members, runs):
                     results[i].extend(run)
                     if len(results[i]) < count and w + 1 < self.workers:
@@ -695,6 +871,10 @@ class _ParallelEngine:
                 self.wall_recorder.record(
                     (time.perf_counter() - t0) * 1e9 / len(members)
                 )
+            if batch is not None:
+                self.spans.finish(batch)
+        if req is not None:
+            self.spans.finish(req)
         return results
 
     def _write_many(
@@ -702,16 +882,27 @@ class _ParallelEngine:
     ) -> Optional[List[Optional[Any]]]:
         self._ensure_live()
         items = list(items)
+        req = self._req_span(f"write_many:{mode}", ops=len(items))
         out: Optional[List[Optional[Any]]] = (
             [None] * len(items) if want_old else None
         )
         step = self._chunk_step(len(items))
         for lo in range(0, len(items), step):
-            self._write_chunk(items[lo : lo + step], mode, out, lo)
+            self._write_chunk(items[lo : lo + step], mode, out, lo, req)
+        if req is not None:
+            self.spans.finish(req)
         return out
 
-    def _write_chunk(self, chunk, mode, out, base) -> None:
+    def _write_chunk(
+        self, chunk, mode, out, base, req: Optional[Span] = None
+    ) -> None:
         t0 = time.perf_counter()
+        batch = None
+        if req is not None:
+            batch = self.spans.start(
+                f"batch:{mode}", "batch", parent=req.span_id, base=base,
+                ops=len(chunk),
+            )
         keys_arr = np.fromiter(
             (k for k, _ in chunk), dtype=np.uint64, count=len(chunk)
         )
@@ -720,7 +911,7 @@ class _ParallelEngine:
             chunk if order is None else [chunk[i] for i in order.tolist()]
         )
         shm_ok = self._shm_on and _items_encodable([v for _, v in ordered])
-        active: List[Tuple[_WorkerHandle, int]] = []
+        active: List[Tuple[_WorkerHandle, int, Optional[Span]]] = []
         off = 0
         for w, n in enumerate(counts):
             if not n:
@@ -729,6 +920,12 @@ class _ParallelEngine:
             self.worker_ops[w] += n
             piece = ordered[off : off + n]
             off += n
+            sspan = None
+            if batch is not None:
+                sspan = self.spans.start(
+                    f"shard:{w}", "shard", parent=batch.span_id, worker=w,
+                    ops=n,
+                )
             if shm_ok:
                 h.seg.keys[:n] = np.fromiter(
                     (k for k, _ in piece), dtype=np.uint64, count=n
@@ -736,13 +933,17 @@ class _ParallelEngine:
                 h.seg.vals[:n] = np.fromiter(
                     (v for _, v in piece), dtype=np.uint64, count=n
                 )
-                self._send(h, ("write_many", n, mode))
+                self._send(h, self._wrap(("write_many", n, mode), sspan))
             else:
-                self._send(h, ("write_many_pipe", piece, mode))
-            active.append((h, n))
+                self._send(
+                    h, self._wrap(("write_many_pipe", piece, mode), sspan)
+                )
+            active.append((h, n, sspan))
         gathered: List[Any] = []
-        for h, n in active:
+        for h, n, sspan in active:
             meta = self._recv(h, "write_many")
+            if sspan is not None:
+                self.spans.finish(sspan)
             if out is not None:
                 gathered.extend(self._decode_values(h, meta, n))
         if out is not None:
@@ -751,6 +952,8 @@ class _ParallelEngine:
             else:
                 for pos, v in zip(order.tolist(), gathered):
                     out[base + pos] = v
+        if batch is not None:
+            self.spans.finish(batch)
         if chunk:
             self.wall_recorder.record(
                 (time.perf_counter() - t0) * 1e9 / len(chunk)
@@ -766,6 +969,7 @@ class _ParallelEngine:
         """
         self._ensure_live()
         items = list(items)
+        req = self._req_span("bulk_load", ops=len(items))
         self.router = ShardRouter.from_keys(
             [k for k, _ in items], self.workers
         )
@@ -790,6 +994,12 @@ class _ParallelEngine:
                 piece = part[offsets[w] : offsets[w] + step]
                 offsets[w] += len(piece)
                 h = self._handles[w]
+                sspan = None
+                if req is not None:
+                    sspan = self.spans.start(
+                        f"shard:{w}", "shard", parent=req.span_id, worker=w,
+                        ops=len(piece),
+                    )
                 if self._shm_on and _items_encodable([v for _, v in piece]):
                     n = len(piece)
                     h.seg.keys[:n] = np.fromiter(
@@ -798,18 +1008,32 @@ class _ParallelEngine:
                     h.seg.vals[:n] = np.fromiter(
                         (v for _, v in piece), dtype=np.uint64, count=n
                     )
-                    self._send(h, ("bulk_chunk", n))
+                    self._send(h, self._wrap(("bulk_chunk", n), sspan))
                 else:
-                    self._send(h, ("bulk_chunk_pipe", piece))
-                active.append(h)
+                    self._send(h, self._wrap(("bulk_chunk_pipe", piece), sspan))
+                active.append((h, sspan))
             if not active:
                 break
-            for h in active:
+            for h, sspan in active:
                 self._recv(h, "bulk_chunk")
-        for h in self._handles:
-            self._send(h, ("bulk_end",))
-        for h in self._handles:
+                if sspan is not None:
+                    self.spans.finish(sspan)
+        build_spans = []
+        for w, h in enumerate(self._handles):
+            sspan = None
+            if req is not None:
+                sspan = self.spans.start(
+                    f"shard:{w}", "shard", parent=req.span_id, worker=w,
+                    build=True,
+                )
+            self._send(h, self._wrap(("bulk_end",), sspan))
+            build_spans.append(sspan)
+        for h, sspan in zip(self._handles, build_spans):
             self._recv(h, "bulk_end")
+            if sspan is not None:
+                self.spans.finish(sspan)
+        if req is not None:
+            self.spans.finish(req)
 
     # -- lifecycle -----------------------------------------------------
 
@@ -818,9 +1042,15 @@ class _ParallelEngine:
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         profiler: Optional[Profiler] = None,
+        spans: Optional[SpanRecorder] = None,
     ) -> List[dict]:
-        """Pull every worker's tracer/metrics/profiler state and merge it
-        into the given parent-side instances.  Returns the raw payloads."""
+        """Pull every worker's tracer/metrics/profiler/span state and merge
+        it into the given parent-side instances.  Returns the raw payloads.
+
+        Pass ``spans=engine.spans`` (or any recorder) to fold worker-side
+        worker/event spans into the parent's request trees — their ids are
+        globally unique by prefix, so parent links resolve after the merge.
+        """
         payloads = self._broadcast(("obs",))
         for p in payloads:
             if tracer is not None:
@@ -829,6 +1059,8 @@ class _ParallelEngine:
                 metrics.merge_from(p["metrics"])
             if profiler is not None:
                 profiler.absorb(p["profiler_counters"], p["profiler_ops"])
+            if spans is not None:
+                spans.absorb(p.get("spans", ()))
         return payloads
 
     def worker_utilization(self) -> List[float]:

@@ -32,6 +32,7 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro.obs.spans import Span, SpanRecorder
 from repro.obs.trace import EventType
 from repro.perf.bandwidth import BandwidthModel
 from repro.perf.cost_model import CostModel
@@ -182,6 +183,7 @@ def simulate(
     tracer=None,
     index_name: str = "",
     keep_schedule: bool = False,
+    spans: Optional[SpanRecorder] = None,
 ) -> SimResult:
     """Run ``streams`` (one list of ops per thread) to completion.
 
@@ -207,6 +209,13 @@ def simulate(
     A ``tracer`` (an :class:`repro.obs.trace.Tracer`) receives
     ``LATCH_WAIT`` / ``RETRAIN_STALL`` lifecycle events timestamped on
     the simulated clock; sampling applies as usual.
+
+    A ``spans`` recorder (:class:`repro.obs.spans.SpanRecorder`) gets one
+    ``clock="sim"`` request span per sampled op — the thread as its
+    worker, latch-wait/retrain-stall child events under it — so a
+    simulated trace is diffable against a measured one with the same
+    exporters and attribution tooling.  The span recorder's RNG is its
+    own; attaching it never perturbs the event schedule.
     """
     cm = cost_model or CostModel()
     threads = len(streams)
@@ -271,6 +280,10 @@ def simulate(
         start, _, t, i = heapq.heappop(heap)
         key, is_write = streams[t][i]
         now = start
+        rspan: Optional[str] = None
+        op_events: List[tuple] = []
+        if spans is not None and spans.sample():
+            rspan = spans.next_id()
 
         # Blocking retrain in progress: everyone waits it out.
         if now < blocked_until:
@@ -284,6 +297,10 @@ def simulate(
                     index=index_name,
                     reason="wait",
                     cost_ns=waited,
+                )
+            if rspan is not None:
+                op_events.append(
+                    ("event:retrain_stall", now, waited, {"reason": "wait"})
                 )
 
         rng = rngs[t]
@@ -306,6 +323,18 @@ def simulate(
                         leaf=domain,
                         reason="write" if is_write else "read",
                         cost_ns=waited,
+                    )
+                if rspan is not None:
+                    op_events.append(
+                        (
+                            "event:latch_wait",
+                            now,
+                            waited,
+                            {
+                                "leaf": domain,
+                                "reason": "write" if is_write else "read",
+                            },
+                        )
                     )
             counters.latch_acquire += 1
             now += latch_ns
@@ -338,7 +367,45 @@ def simulate(
                             reason="retrain",
                             cost_ns=stall_ns,
                         )
+                    if rspan is not None:
+                        op_events.append(
+                            (
+                                "event:retrain_stall",
+                                end,
+                                stall_ns,
+                                {"reason": "retrain"},
+                            )
+                        )
             domain_free_at[domain] = end
+
+        if rspan is not None:
+            spans.add(
+                Span(
+                    span_id=rspan,
+                    parent_id=None,
+                    name=f"op:{'write' if is_write else 'read'}",
+                    kind="request",
+                    start_ns=start,
+                    dur_ns=end - start,
+                    clock="sim",
+                    worker=t,
+                    attrs={"key": key, "thread": t, "op_index": i},
+                )
+            )
+            for ev_name, ev_ts, ev_cost, ev_attrs in op_events:
+                spans.add(
+                    Span(
+                        span_id=spans.next_id(),
+                        parent_id=rspan,
+                        name=ev_name,
+                        kind="event",
+                        start_ns=ev_ts,
+                        dur_ns=0.0,
+                        clock="sim",
+                        worker=t,
+                        attrs=dict(ev_attrs, cost_ns=ev_cost),
+                    )
+                )
 
         recorder.record(end - start)
         if schedule is not None:
@@ -377,6 +444,7 @@ def simulate_scaling(
     seed: int = 0,
     tracer=None,
     index_name: str = "",
+    spans: Optional[SpanRecorder] = None,
 ) -> List[SimResult]:
     """One :func:`simulate` run per thread count, shared streams prefix.
 
@@ -396,6 +464,7 @@ def simulate_scaling(
             seed=seed,
             tracer=tracer,
             index_name=index_name,
+            spans=spans,
         )
         for t in threads
     ]

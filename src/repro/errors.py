@@ -35,7 +35,26 @@ class WorkerDiedError(ReproError):
     Raised by :mod:`repro.concurrency.parallel` when a worker exits (or
     its pipe breaks) while the parent is waiting on a reply, so a killed
     worker surfaces as a descriptive error instead of a hung gather.
+
+    Carries the postmortem context the parent had at death time:
+    ``worker_id``, ``pid``, ``exitcode``, and ``flight`` — the dead
+    worker's flight-recorder ring (last N commands, see
+    :class:`repro.obs.health.HealthMonitor`).
     """
+
+    def __init__(
+        self,
+        message: str,
+        worker_id: int = None,
+        pid: int = None,
+        exitcode: int = None,
+        flight: list = None,
+    ):
+        super().__init__(message)
+        self.worker_id = worker_id
+        self.pid = pid
+        self.exitcode = exitcode
+        self.flight = list(flight or [])
 
 
 class DeviceError(ReproError):

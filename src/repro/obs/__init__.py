@@ -1,4 +1,4 @@
-"""Structural observability: lifecycle tracing, metrics, exporters.
+"""Structural observability: lifecycle tracing, spans, metrics, exporters.
 
 The simulated-hardware substrate (:mod:`repro.perf`) answers "how much
 did it cost"; this package answers "what happened and when":
@@ -6,10 +6,19 @@ did it cost"; this package answers "what happened and when":
 * :mod:`repro.obs.trace` — typed lifecycle events (retrains, splits,
   flushes, allocations, GC) on the simulated clock, collected by a
   sampling-aware :class:`Tracer` attached to a ``PerfContext``.
+* :mod:`repro.obs.spans` — causal span trees (request -> batch -> shard
+  -> worker -> event) with cross-process ids, for the parallel engine
+  and the discrete-event simulator.
+* :mod:`repro.obs.health` — per-worker heartbeats, stall detection, and
+  flight-recorder postmortems for the parallel engine.
+* :mod:`repro.obs.attribution` — tail-latency decomposition of span
+  trees (queue / serialize / skew / struct / work).
 * :mod:`repro.obs.metrics` — counters, gauges, and log-bucketed
   histograms with Prometheus-style label sets.
-* :mod:`repro.obs.export` — JSONL trace files and Prometheus text.
-* :mod:`repro.obs.progress` — live progress lines for long runs.
+* :mod:`repro.obs.export` — JSONL trace/span files, Chrome trace-event
+  JSON, and Prometheus text.
+* :mod:`repro.obs.progress` — live progress lines for long runs, plus
+  the :class:`EngineTopView` worker-health live view.
 * :mod:`repro.obs.regress` — the ``BENCH_*.json`` cross-PR diff tool
   (``python -m repro.obs.regress``).
 
@@ -18,14 +27,34 @@ See ``docs/observability.md`` for the event taxonomy and usage.
 
 from repro.obs.trace import EventType, TraceEvent, Tracer
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry
+from repro.obs.spans import (
+    Span,
+    SpanRecorder,
+    children_index,
+    roots,
+    subtree_events,
+    summarize_spans,
+    walk,
+)
+from repro.obs.health import FlightEntry, HealthMonitor, WorkerHealth, format_flight
+from repro.obs.attribution import (
+    AttributionResult,
+    RequestAttribution,
+    attribute_request,
+    attribute_spans,
+)
 from repro.obs.export import (
     JsonlTraceSink,
+    chrome_trace_events,
     prometheus_text,
+    read_spans_jsonl,
     read_trace_jsonl,
     trace_summary,
+    write_chrome_trace,
+    write_spans_jsonl,
     write_trace_jsonl,
 )
-from repro.obs.progress import ProgressReporter
+from repro.obs.progress import EngineTopView, ProgressReporter
 
 __all__ = [
     "EventType",
@@ -34,10 +63,30 @@ __all__ = [
     "Counter",
     "Gauge",
     "MetricsRegistry",
+    "Span",
+    "SpanRecorder",
+    "children_index",
+    "roots",
+    "subtree_events",
+    "summarize_spans",
+    "walk",
+    "FlightEntry",
+    "HealthMonitor",
+    "WorkerHealth",
+    "format_flight",
+    "AttributionResult",
+    "RequestAttribution",
+    "attribute_request",
+    "attribute_spans",
     "JsonlTraceSink",
+    "chrome_trace_events",
     "prometheus_text",
+    "read_spans_jsonl",
     "read_trace_jsonl",
     "trace_summary",
+    "write_chrome_trace",
+    "write_spans_jsonl",
     "write_trace_jsonl",
+    "EngineTopView",
     "ProgressReporter",
 ]

@@ -1,0 +1,244 @@
+"""Tail-latency attribution over causal span trees.
+
+Aggregate throughput hides *why* the slow requests are slow.  Given a
+span tree (``request -> batch -> shard -> event``, see
+:mod:`repro.obs.spans`), this module decomposes each request's wall
+time into additive components and reports them for the slowest
+q-quantile of requests:
+
+``queue``
+    Request wall time outside any batch: argument staging, scatter
+    planning, result gather — everything before the first shipment and
+    between shipments.
+``serialize``
+    Batch wall time beyond the slowest shard in that batch: the
+    parent-side cost of pumping N pipes sequentially plus reply
+    deserialization.
+``skew``
+    The slowest shard's excess over the *mean* shard time of its batch:
+    time the batch spent waiting on an imbalanced partition.  Perfectly
+    balanced shards make this 0.
+``struct``
+    The portion of mean shard time attributed to structural lifecycle
+    events (retrains, latch waits, SMOs), estimated by each shard's
+    event-cost share of its worker's simulated time.
+``work``
+    Mean shard time minus ``struct``: the useful serving work.
+
+The five components sum to the request's wall time by construction, so
+the table is an exact decomposition, not a sampling of suspects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from .spans import Span, children_index, subtree_events
+
+#: Component order used by every table/dict in this module.
+COMPONENTS = ("queue", "serialize", "skew", "struct", "work")
+
+
+@dataclass
+class RequestAttribution:
+    """One request's wall-time decomposition (all values in ns)."""
+
+    span_id: str
+    name: str
+    total_ns: float
+    queue_ns: float = 0.0
+    serialize_ns: float = 0.0
+    skew_ns: float = 0.0
+    struct_ns: float = 0.0
+    work_ns: float = 0.0
+    batches: int = 0
+    shards: int = 0
+    events: int = 0
+    #: Per-event-type counts inside this request's subtree.
+    event_counts: Dict[str, int] = field(default_factory=dict)
+
+    def components(self) -> Dict[str, float]:
+        return {
+            "queue": self.queue_ns,
+            "serialize": self.serialize_ns,
+            "skew": self.skew_ns,
+            "struct": self.struct_ns,
+            "work": self.work_ns,
+        }
+
+
+@dataclass
+class AttributionResult:
+    """Attribution for the slowest ``quantile`` fraction of requests."""
+
+    quantile: float
+    #: All requests analysed (ascending total_ns).
+    requests: List[RequestAttribution]
+    #: The slow tail (slowest ``1 - quantile`` fraction), slowest first.
+    tail: List[RequestAttribution]
+
+    def tail_totals(self) -> Dict[str, float]:
+        """Summed components over the tail (ns)."""
+        totals = {c: 0.0 for c in COMPONENTS}
+        totals["total"] = 0.0
+        for req in self.tail:
+            totals["total"] += req.total_ns
+            for comp, val in req.components().items():
+                totals[comp] += val
+        return totals
+
+    def table(self, limit: int = 12) -> str:
+        """Render the tail as a text table (slowest request first; at most
+        ``limit`` individual rows, always followed by the tail totals)."""
+        from ..bench.report import format_table  # deferred: avoid obs<->bench cycle
+
+        headers = [
+            "request",
+            "total_ms",
+            "queue_ms",
+            "serialize_ms",
+            "skew_ms",
+            "struct_ms",
+            "work_ms",
+            "events",
+        ]
+        rows = []
+        for req in self.tail[:limit]:
+            rows.append(
+                [
+                    f"{req.name} ({req.span_id})",
+                    f"{req.total_ns / 1e6:.3f}",
+                    f"{req.queue_ns / 1e6:.3f}",
+                    f"{req.serialize_ns / 1e6:.3f}",
+                    f"{req.skew_ns / 1e6:.3f}",
+                    f"{req.struct_ns / 1e6:.3f}",
+                    f"{req.work_ns / 1e6:.3f}",
+                    str(req.events),
+                ]
+            )
+        if len(self.tail) > limit:
+            rows.append(
+                [f"... {len(self.tail) - limit} more tail requests"]
+                + ["" for _ in headers[1:]]
+            )
+        totals = self.tail_totals()
+        if rows:
+            rows.append(
+                [
+                    f"TAIL p{self.quantile * 100:g}+ ({len(self.tail)} reqs)",
+                    f"{totals['total'] / 1e6:.3f}",
+                    f"{totals['queue'] / 1e6:.3f}",
+                    f"{totals['serialize'] / 1e6:.3f}",
+                    f"{totals['skew'] / 1e6:.3f}",
+                    f"{totals['struct'] / 1e6:.3f}",
+                    f"{totals['work'] / 1e6:.3f}",
+                    str(sum(r.events for r in self.tail)),
+                ]
+            )
+        return format_table(headers, rows)
+
+
+def _struct_fraction(shard: Span, worker_span: Optional[Span], events: List[Span]) -> float:
+    """Fraction of ``shard``'s wall time attributable to structural events.
+
+    Estimated from the simulated clock: the worker reports its total
+    simulated serving time (``sim_ns``) and every event carries its
+    simulated ``cost_ns``; their ratio transfers to wall time.
+    """
+    if not events:
+        return 0.0
+    cost = sum(float(e.attrs.get("cost_ns", 0.0) or 0.0) for e in events)
+    if cost <= 0.0:
+        return 0.0
+    sim_ns = 0.0
+    if worker_span is not None:
+        sim_ns = float(worker_span.attrs.get("sim_ns", 0.0) or 0.0)
+    if sim_ns <= 0.0:
+        sim_ns = cost  # no worker measurement: events were the whole story
+    return min(1.0, cost / sim_ns)
+
+
+def attribute_request(
+    request: Span, index: Dict[Optional[str], List[Span]]
+) -> RequestAttribution:
+    """Decompose one request span's wall time (see module docstring)."""
+    out = RequestAttribution(
+        span_id=request.span_id, name=request.name, total_ns=request.dur_ns
+    )
+
+    batches = [c for c in index.get(request.span_id, ()) if c.kind == "batch"]
+    direct_shards = [c for c in index.get(request.span_id, ()) if c.kind == "shard"]
+    # Scalar / broadcast requests ship shards without a batch layer:
+    # treat the direct shard children as one implicit batch.
+    groups: List[tuple] = [(b, None) for b in batches]
+    if direct_shards:
+        groups.append((request, direct_shards))
+
+    for parent, shards in groups:
+        if shards is None:
+            shards = [c for c in index.get(parent.span_id, ()) if c.kind == "shard"]
+        batch_dur = parent.dur_ns if parent is not request else (
+            max((s.end_ns for s in shards), default=request.start_ns)
+            - min((s.start_ns for s in shards), default=request.start_ns)
+        )
+        if parent is not request:
+            out.batches += 1
+        if not shards:
+            out.work_ns += batch_dur
+            continue
+        out.shards += len(shards)
+        durs = [s.dur_ns for s in shards]
+        slowest = max(durs)
+        mean = sum(durs) / len(durs)
+        out.serialize_ns += max(0.0, batch_dur - slowest)
+        out.skew_ns += max(0.0, slowest - mean)
+        # Split the mean shard time into structural-event time and work,
+        # weighting each shard's contribution by its event-cost share.
+        struct = 0.0
+        for shard in shards:
+            workers = [
+                c for c in index.get(shard.span_id, ()) if c.kind == "worker"
+            ]
+            worker_span = workers[0] if workers else None
+            events = subtree_events(shard, index)
+            out.events += len(events)
+            for ev in events:
+                etype = ev.attrs.get("etype", ev.name)
+                out.event_counts[etype] = out.event_counts.get(etype, 0) + 1
+            struct += (shard.dur_ns / len(shards)) * _struct_fraction(
+                shard, worker_span, events
+            )
+        struct = min(struct, mean)
+        out.struct_ns += struct
+        out.work_ns += mean - struct
+
+    accounted = out.serialize_ns + out.skew_ns + out.struct_ns + out.work_ns
+    out.queue_ns = max(0.0, out.total_ns - accounted)
+    return out
+
+
+def attribute_spans(
+    spans: Iterable[Span], quantile: float = 0.9
+) -> AttributionResult:
+    """Attribute every request span and isolate the slow tail.
+
+    ``quantile`` = 0.9 keeps the slowest 10% of requests in
+    :attr:`AttributionResult.tail` (at least one request whenever any
+    were recorded).
+    """
+    if not 0.0 <= quantile < 1.0:
+        raise ValueError(f"quantile must be in [0, 1), got {quantile}")
+    spans = list(spans)
+    index = children_index(spans)
+    requests = [s for s in spans if s.kind == "request"]
+    attributed = sorted(
+        (attribute_request(r, index) for r in requests),
+        key=lambda a: a.total_ns,
+    )
+    if attributed:
+        cut = min(int(len(attributed) * quantile), len(attributed) - 1)
+        tail = list(reversed(attributed[cut:]))
+    else:
+        tail = []
+    return AttributionResult(quantile=quantile, requests=attributed, tail=tail)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -71,12 +72,21 @@ def _same_scale(old: dict, new: dict) -> bool:
 
 
 def compare_reports(
-    old: dict, new: dict, threshold: float, ratio_threshold: float
+    old: dict,
+    new: dict,
+    threshold: float,
+    ratio_threshold: float,
+    skipped: Optional[List[str]] = None,
 ) -> Tuple[List[Delta], List[Delta], bool]:
     """Compare two loaded reports.
 
     Returns ``(all_deltas, regressions, ratios_only)`` over the indexes
     and metrics present in both reports.
+
+    A metric whose baseline is 0 or non-finite (NaN/inf — e.g. a
+    zero-duration quick run or a failed measurement) has no meaningful
+    fractional change; it is skipped rather than compared, and a warning
+    string is appended to ``skipped`` when the caller passes a list.
     """
     ratios_only = not _same_scale(old, new)
     suffixes = RATIO_SUFFIXES if ratios_only else METRIC_SUFFIXES
@@ -93,7 +103,15 @@ def compare_reports(
                 new_v, (int, float)
             ):
                 continue
-            delta = Delta(name, metric, float(old_v), float(new_v))
+            old_f, new_f = float(old_v), float(new_v)
+            if old_f == 0.0 or not math.isfinite(old_f) or not math.isfinite(new_f):
+                if skipped is not None:
+                    skipped.append(
+                        f"{name}.{metric}: baseline {old_f!r} -> {new_f!r} "
+                        "not comparable; skipped"
+                    )
+                continue
+            delta = Delta(name, metric, old_f, new_f)
             deltas.append(delta)
             if delta.old > 0 and delta.change < -limit:
                 regressions.append(delta)
@@ -164,9 +182,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     failed = False
     for (old_path, old), (new_path, new) in zip(loaded, loaded[1:]):
+        skipped: List[str] = []
         deltas, regressions, ratios_only = compare_reports(
-            old, new, args.threshold, args.ratio_threshold
+            old, new, args.threshold, args.ratio_threshold, skipped=skipped
         )
+        for warning in skipped:
+            print(f"warning: {warning}", file=sys.stderr)
         limit = args.ratio_threshold if ratios_only else args.threshold
         for line in _pair_report(
             old_path, new_path, deltas, regressions, ratios_only, limit

@@ -229,6 +229,38 @@ class TestPrometheusText:
         text = prometheus_text(reg)
         assert 'path="a\\"b\\\\c"' in text
 
+    def test_help_lines_precede_type_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_ops_total", target="alex", kind="read").inc()
+        reg.histogram("repro_op_latency_ns", kind="read").record(5.0)
+        reg.counter("repro_custom_total").inc()
+        text = prometheus_text(reg)
+        lines = text.splitlines()
+        for family in ("repro_ops_total", "repro_op_latency_ns"):
+            help_i = lines.index(
+                next(l for l in lines if l.startswith(f"# HELP {family} "))
+            )
+            assert lines[help_i + 1].startswith(f"# TYPE {family} ")
+        # Unknown families still get a HELP line (generic text).
+        assert "# HELP repro_custom_total repro metric" in text
+
+    def test_tracer_section_has_help_and_escaped_labels(self):
+        tracer = Tracer(rate=0.0)
+        tracer.emit('odd"event\\', 0.0)
+        text = prometheus_text(tracer=tracer)
+        assert "# HELP repro_trace_events_total " in text
+        assert "# TYPE repro_trace_events_total counter" in text
+        assert 'event="odd\\"event\\\\"' in text
+
+    def test_help_emitted_once_per_family(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_ops_total", kind="read").inc()
+        reg.counter("repro_ops_total", kind="write").inc()
+        text = prometheus_text(reg)
+        assert text.count("# HELP repro_ops_total") == 1
+        assert text.count("# TYPE repro_ops_total") == 1
+
+
 
 class TestProfilerBatchedOps:
     """Satellite 2: batched measurements split across the run length."""

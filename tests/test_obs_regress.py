@@ -137,3 +137,56 @@ class TestMainExitCodes:
         bad.write_text("{not json")
         rc = main([REPO_PR3, str(bad)])
         assert rc == 2
+
+
+class TestNonComparableBaselines:
+    def test_zero_baseline_is_skipped_with_warning(self):
+        old = _report(SCALE, btree={"get_ops_s": 0.0})
+        new = _report(SCALE, btree={"get_ops_s": 500.0})
+        skipped = []
+        deltas, regressions, _ = compare_reports(
+            old, new, 0.10, 0.50, skipped=skipped
+        )
+        assert deltas == [] and regressions == []
+        assert len(skipped) == 1
+        assert "btree.get_ops_s" in skipped[0]
+        assert "skipped" in skipped[0]
+
+    def test_nan_and_inf_are_skipped_not_compared(self):
+        old = _report(
+            SCALE,
+            btree={"get_ops_s": float("nan"), "put_ops_s": 100.0},
+            rs={"get_ops_s": float("inf")},
+        )
+        new = _report(
+            SCALE,
+            btree={"get_ops_s": 50.0, "put_ops_s": float("nan")},
+            rs={"get_ops_s": 50.0},
+        )
+        skipped = []
+        deltas, regressions, _ = compare_reports(
+            old, new, 0.10, 0.50, skipped=skipped
+        )
+        assert deltas == [] and regressions == []
+        assert len(skipped) == 3
+
+    def test_skip_list_is_optional(self):
+        old = _report(SCALE, btree={"get_ops_s": 0.0})
+        new = _report(SCALE, btree={"get_ops_s": 500.0})
+        deltas, regressions, _ = compare_reports(old, new, 0.10, 0.50)
+        assert deltas == [] and regressions == []
+
+    def test_main_warns_on_stderr_but_still_passes(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(
+            json.dumps(_report(SCALE, x={"get_ops_s": 0.0, "put_ops_s": 10.0}))
+        )
+        b.write_text(
+            json.dumps(_report(SCALE, x={"get_ops_s": 9.0, "put_ops_s": 10.0}))
+        )
+        rc = main([str(a), str(b)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "warning: x.get_ops_s" in captured.err
+        assert "OK: no regressions" in captured.out

@@ -258,3 +258,161 @@ def test_bad_configuration_rejected():
         ParallelShardedIndex("pgm", 2, transport="carrier-pigeon")
     with pytest.raises(ReproError):
         ParallelShardedStore("no-such-spec", 2)
+
+
+def _walk_to_root(span, by_id):
+    while span.parent_id is not None:
+        span = by_id[span.parent_id]
+    return span
+
+
+def test_traced_run_attaches_every_worker_event_to_its_request():
+    """Acceptance: a traced 2-worker run yields a span tree where every
+    worker-side lifecycle event is reachable from an originating
+    request span."""
+    from repro.obs import children_index, subtree_events
+
+    spec = next(s for s in specs() if s.name == "PGM")
+    load, extra = _keys()
+    engine = parallel_sharded_index(
+        spec, 2, trace_rate=1.0, span_rate=1.0, seed=7
+    )
+    try:
+        engine.bulk_load([(k, k) for k in load])
+        engine.get_many(load)
+        engine.insert_many([(k, k) for k in extra])
+        engine.get(load[0])
+        engine.drain_obs(spans=engine.spans)
+        spans = list(engine.spans.spans)
+    finally:
+        engine.close()
+
+    by_id = {s.span_id: s for s in spans}
+    kinds = {s.kind for s in spans}
+    assert kinds == {"request", "batch", "shard", "worker", "event"}
+    events = [s for s in spans if s.kind == "event"]
+    assert events, "a traced PGM insert run must emit lifecycle events"
+    for ev in events:
+        root = _walk_to_root(ev, by_id)
+        assert root.kind == "request"
+        assert ev.worker >= 0  # events fire inside worker processes
+
+    # The tree is consistent both ways: walking down from the requests
+    # reaches exactly the events that walk up to a request.
+    index = children_index(spans)
+    reachable = sum(
+        len(subtree_events(r, index)) for r in spans if r.kind == "request"
+    )
+    assert reachable == len(events)
+
+    # Worker command spans parent under parent-side shard spans.
+    workers = [s for s in spans if s.kind == "worker"]
+    assert workers
+    assert all(by_id[w.parent_id].kind == "shard" for w in workers)
+
+
+def test_span_counts_match_untraced_event_counters_at_rate_one():
+    """Acceptance: at sample rate 1.0 the event-span population equals
+    the exact (pre-sampling) lifecycle counters of an untraced run."""
+    spec = next(s for s in specs() if s.name == "PGM")
+    load, extra = _keys()
+
+    def run(span_rate):
+        engine = parallel_sharded_index(
+            spec, 2, trace_rate=1.0, span_rate=span_rate, seed=7
+        )
+        try:
+            engine.bulk_load([(k, k) for k in load])
+            engine.get_many(load)
+            engine.insert_many([(k, k) for k in extra])
+            tracer = Tracer(rate=0.0)
+            engine.drain_obs(tracer=tracer, spans=engine.spans)
+            spans = list(engine.spans.spans) if engine.spans else []
+            return tracer, spans, engine.spans
+        finally:
+            engine.close()
+
+    _, spans, recorder = run(span_rate=1.0)
+    untraced_tracer, _, untraced_recorder = run(span_rate=0.0)
+    assert untraced_recorder is None  # rate 0: the no-op fast path
+
+    by_etype = {}
+    for s in spans:
+        if s.kind == "event":
+            etype = s.attrs["etype"]
+            by_etype[etype] = by_etype.get(etype, 0) + 1
+    assert by_etype == untraced_tracer.counts
+
+    # Every engine API call became exactly one sampled request span.
+    api_calls = 3  # bulk_load + get_many + insert_many
+    assert recorder.requests == recorder.sampled_requests == api_calls
+    assert sum(1 for s in spans if s.kind == "request") == api_calls
+
+
+def test_partial_span_rate_still_counts_every_request():
+    spec = next(s for s in specs() if s.name == "BTree")
+    load, _ = _keys()
+    engine = parallel_sharded_index(spec, 2, span_rate=0.5, seed=3)
+    try:
+        engine.bulk_load([(k, k) for k in load])
+        for _ in range(40):
+            engine.get_many(load[:20])
+        assert engine.spans.requests == 41  # bulk_load + 40 batches
+        assert 0 < engine.spans.sampled_requests < 41
+    finally:
+        engine.close()
+
+
+def test_worker_death_dumps_flight_recorder():
+    """Acceptance: killing a worker mid-run attaches its flight-recorder
+    ring to the WorkerDiedError."""
+    spec = next(s for s in specs() if s.name == "BTree")
+    load, _ = _keys()
+    engine = parallel_sharded_index(spec, 2, span_rate=1.0)
+    try:
+        engine.bulk_load([(k, k) for k in load])
+        engine.get_many(load)  # populate worker 1's flight ring
+        victim = engine._handles[1].proc
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(5)
+        with pytest.raises(WorkerDiedError) as err:
+            for _ in range(3):
+                engine.get_many(load)
+        exc = err.value
+        assert exc.worker_id == 1
+        assert exc.pid == victim.pid
+        assert exc.flight, "the postmortem must carry the flight ring"
+        assert {e["status"] for e in exc.flight} <= {"ok", "died"}
+        # Span-traced commands carry their span ids into the postmortem.
+        assert any(e["span_id"] for e in exc.flight)
+        assert "flight recorder (most recent last):" in str(exc)
+        assert "while serving 'get_many'" in str(exc)
+        assert "#" in str(exc)  # the formatted flight lines
+        # The latched engine re-raises the same postmortem.
+        with pytest.raises(WorkerDiedError) as again:
+            engine.get_many(load[:5])
+        assert again.value.flight == exc.flight
+    finally:
+        engine.close()
+
+
+def test_health_monitor_tracks_live_engine():
+    spec = next(s for s in specs() if s.name == "BTree")
+    load, _ = _keys()
+    engine = parallel_sharded_index(spec, 2)
+    try:
+        engine.bulk_load([(k, k) for k in load])
+        engine.get_many(load)
+        snap = engine.health.snapshot()
+        assert [row["worker"] for row in snap] == [0, 1]
+        for row in snap:
+            assert row["cmds_sent"] == row["cmds_done"] > 0
+            assert row["last_reply_age_s"] is not None
+            assert row["stalls"] == 0 and not row["stalled"]
+        # Heartbeats agree with the parent's own books.
+        for wh, ops in zip(engine.health.workers, engine.worker_ops):
+            assert wh.hb_cmds == wh.cmds_done
+        assert engine.health.stalled_workers() == []
+        assert all(engine.health.flight(w) for w in range(2))
+    finally:
+        engine.close()
