@@ -1,0 +1,375 @@
+#!/usr/bin/env python3
+"""Fault-tolerance benchmark for the process-parallel sharded engine.
+
+Measures what the supervision layer (:mod:`repro.concurrency.supervise`)
+costs and what it buys, per index (PGM — learned, native batch paths;
+BTree — the traditional baseline) at 2 workers:
+
+* ``baseline_ops_s``        — batched lookups, no faults injected.
+* ``recovered_ops_s``       — the same workload with a worker SIGKILLed
+  mid-run; the supervisor respawns it, rebuilds its partition, and
+  replays the in-flight batch.  Answers are verified bit-identical to
+  the unfailed run before the number counts.
+* ``recovered_speedup``     — recovered / baseline throughput ratio
+  (how much of the run one crash-and-recover cycle eats).
+* ``degraded_ops_s``        — ``degraded="partial"`` with the restart
+  budget exhausted: throughput of the surviving shards.
+* ``degraded_speedup``      — degraded / baseline ratio.
+* ``recovery_latency_ms``   — wall time of the respawn + rebuild +
+  replay cycle (the supervisor's own measurement).
+* a :class:`~repro.concurrency.sim.FailureModel` projection: the
+  measured recovery latency fed back into the discrete-event simulator
+  as the rebuild cost, showing projected throughput loss at shrinking
+  MTBFs.
+
+Usage::
+
+    python benchmarks/bench_recovery.py --quick
+    python benchmarks/bench_recovery.py --out BENCH_RECOVERY.json
+    python benchmarks/bench_recovery.py --quick --check --span-out rec.json
+
+``--check`` exits non-zero if any recovered run diverges from the
+unfailed answers, if recovery fails to happen (restart counters stay
+zero), or if partial mode fails to keep the surviving shard serving.
+``--span-out`` writes the recovery run's span forest as Chrome trace
+JSON (the respawn/rebuild stages show up as a ``recovery`` lane).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+
+from repro.bench import format_table, write_result
+from repro.concurrency.parallel import parallel_sharded_index
+from repro.concurrency.sim import (
+    FailureModel,
+    OpProfile,
+    make_streams,
+    simulate,
+)
+from repro.concurrency.supervise import FaultPlan
+from repro.errors import ShardUnavailableError
+from repro.obs.export import write_chrome_trace
+from repro.registry import resolve
+
+SEED = 42
+
+INDEXES = ("pgm", "btree")
+
+WORKERS = 2
+
+#: Full-scale parameters (the committed BENCH_RECOVERY.json numbers).
+FULL = {"n_keys": 500_000, "n_batch": 100_000, "batches": 10}
+#: ``--quick`` parameters (CI chaos-smoke job).
+QUICK = {"n_keys": 30_000, "n_batch": 10_000, "batches": 6}
+
+#: MTBF points for the sim projection, in operations between failures
+#: (dimensionless in run length: 1_000 means one crash per thousand
+#: ops served, however fast an op is).
+SIM_MTBF_OPS = (100_000, 10_000, 1_000)
+
+
+def _make_case(alias: str, scale: dict) -> dict:
+    rng = random.Random(f"{SEED}:{alias}:recovery")
+    keys = sorted(rng.sample(range(1, 2**50), scale["n_keys"]))
+    batches = [
+        rng.choices(keys, k=scale["n_batch"]) for _ in range(scale["batches"])
+    ]
+    return {
+        "alias": alias,
+        "items": [(k, k) for k in keys],
+        "batches": batches,
+    }
+
+
+def _ops_per_sec(count: int, seconds: float) -> float:
+    return count / seconds if seconds > 0 else float("inf")
+
+
+def _run_batches(engine, batches):
+    t0 = time.perf_counter()
+    answers = [engine.get_many(b) for b in batches]
+    return answers, time.perf_counter() - t0
+
+
+def bench_recovery(case: dict, span_out: str = "") -> dict:
+    """Baseline, crash-recover, and degraded runs for one index."""
+    total_ops = sum(len(b) for b in case["batches"])
+
+    # Unfailed reference: answers + throughput.
+    engine = parallel_sharded_index(case["alias"], WORKERS)
+    try:
+        engine.bulk_load(case["items"])
+        engine.get_many(case["batches"][0][:2048])  # warm the transport
+        expected, t_base = _run_batches(engine, case["batches"])
+    finally:
+        engine.close()
+
+    # Crash mid-run: kill worker 1 on the middle batch, recover, verify.
+    # (Batch 1 of the run; the warm-up batch is get_many #1, so the kill
+    # lands while real work is in flight.)
+    kill_at = 2 + len(case["batches"]) // 2
+    plan = FaultPlan().kill(1, op="get_many", nth=kill_at)
+    engine = parallel_sharded_index(
+        case["alias"],
+        WORKERS,
+        restart_budget=2,
+        backoff_base_s=0.0,
+        fault_plan=plan,
+        span_rate=1.0 if span_out else 0.0,
+    )
+    try:
+        engine.bulk_load(case["items"])
+        engine.get_many(case["batches"][0][:2048])
+        got, t_rec = _run_batches(engine, case["batches"])
+        restarts = sum(engine.supervisor.restarts_used)
+        latencies = [s for s in engine.supervisor.last_recovery_s if s]
+        if span_out:
+            n = write_chrome_trace(engine.spans.spans, span_out)
+            print(f"[recovery trace: {n} events -> {span_out}]")
+    finally:
+        engine.close()
+    mismatch = got != expected
+
+    # Budget exhausted, partial mode: surviving shard keeps serving.
+    engine = parallel_sharded_index(
+        case["alias"],
+        WORKERS,
+        restart_budget=0,
+        degraded="partial",
+        fault_plan=FaultPlan().kill(1, op="get_many", nth=2),
+    )
+    try:
+        engine.bulk_load(case["items"])
+        engine.get_many(case["batches"][0][:2048])
+        degraded, t_deg = _run_batches(engine, case["batches"])
+        available = engine.availability()
+        try:
+            # Top-of-range keys route to worker 1 — the shard that is out
+            # of service — so this write must be refused.
+            engine.upsert_many(case["items"][-64:])
+            write_raised = False
+        except ShardUnavailableError:
+            write_raised = True
+    finally:
+        engine.close()
+    # Positions served by the surviving shards must still be exact.
+    degraded_ok = all(
+        g is None or g == e
+        for got_b, exp_b in zip(degraded, expected)
+        for g, e in zip(got_b, exp_b)
+    )
+    served = sum(
+        1 for b in degraded for g in b if g is not None
+    )
+
+    baseline = _ops_per_sec(total_ops, t_base)
+    recovered = _ops_per_sec(total_ops, t_rec)
+    degraded_tp = _ops_per_sec(served, t_deg)
+    return {
+        "baseline_ops_s": baseline,
+        "recovered_ops_s": recovered,
+        "recovered_speedup": recovered / baseline if baseline else 0.0,
+        "degraded_ops_s": degraded_tp,
+        "degraded_speedup": degraded_tp / baseline if baseline else 0.0,
+        "recovery_latency_ms": (
+            1e3 * max(latencies) if latencies else 0.0
+        ),
+        "restarts": restarts,
+        "mismatch": mismatch,
+        "degraded_ok": degraded_ok,
+        "degraded_available": available,
+        "degraded_write_raised": write_raised,
+        "degraded_served_ops": served,
+    }
+
+
+def sim_projection(row: dict, mean_ns: float) -> list:
+    """Project the measured recovery cost onto shrinking MTBFs.
+
+    The simulator treats each thread as a worker with the measured
+    rebuild cost; rows show how throughput degrades as failures go from
+    rare (one per minute) to pathological (one per second).
+    """
+    spec = resolve("btree")
+    profile = OpProfile(
+        mean_ns=mean_ns, p999_ns=4 * mean_ns, bytes_per_op=64.0
+    )
+    streams = make_streams(WORKERS, 4000, 0.0, seed=SEED)
+    base = simulate(spec.concurrency, profile, streams, seed=SEED)
+    rebuild_ns = max(row["recovery_latency_ms"], 0.001) * 1e6
+    rows = []
+    for mtbf_ops in SIM_MTBF_OPS:
+        res = simulate(
+            spec.concurrency,
+            profile,
+            streams,
+            seed=SEED,
+            failure=FailureModel(
+                mtbf_ns=mtbf_ops * mean_ns, rebuild_ns=rebuild_ns
+            ),
+        )
+        rows.append(
+            {
+                "mtbf_ops": mtbf_ops,
+                "failures": res.failures,
+                "recovery_stall_share": res.recovery_stall_share,
+                "throughput_vs_failfree": (
+                    res.throughput_mops / base.throughput_mops
+                    if base.throughput_mops
+                    else 0.0
+                ),
+            }
+        )
+    return rows
+
+
+def run_recovery(scale=None, span_out: str = ""):
+    scale = dict(QUICK if scale is None else scale)
+    results = {}
+    for alias in INDEXES:
+        case = _make_case(alias, scale)
+        spec = resolve(alias)
+        row = bench_recovery(
+            case, span_out=span_out if alias == INDEXES[0] else ""
+        )
+        row["name"] = spec.name
+        row["n_keys"] = len(case["items"])
+        results[alias] = row
+        print(
+            f"{spec.name:8s} baseline {row['baseline_ops_s']:>11,.0f} op/s  "
+            f"recovered {row['recovered_ops_s']:>11,.0f} op/s "
+            f"({row['recovered_speedup']:.2f}x)  "
+            f"recovery {row['recovery_latency_ms']:.1f}ms  "
+            f"degraded {row['degraded_ops_s']:>11,.0f} op/s"
+            + ("  MISMATCH" if row["mismatch"] else ""),
+            flush=True,
+        )
+
+    first = results[INDEXES[0]]
+    sim_rows = sim_projection(
+        first, mean_ns=1e9 / max(first["baseline_ops_s"], 1.0)
+    )
+    table = format_table(
+        ["index", "baseline op/s", "recovered op/s", "ratio",
+         "recovery ms", "degraded op/s"],
+        [
+            [
+                r["name"],
+                f"{r['baseline_ops_s']:,.0f}",
+                f"{r['recovered_ops_s']:,.0f}",
+                f"{r['recovered_speedup']:.2f}",
+                f"{r['recovery_latency_ms']:.1f}",
+                f"{r['degraded_ops_s']:,.0f}",
+            ]
+            for r in results.values()
+        ],
+        title=f"Recovery: crash-and-recover vs fail-free "
+        f"({WORKERS} workers, {os.cpu_count()} cores)",
+    )
+    table += "\n\n" + format_table(
+        ["MTBF ops", "failures", "stall share", "throughput vs fail-free"],
+        [
+            [
+                f"{r['mtbf_ops']:,}",
+                r["failures"],
+                f"{r['recovery_stall_share']:.1%}",
+                f"{r['throughput_vs_failfree']:.2f}x",
+            ]
+            for r in sim_rows
+        ],
+        title="Simulated failure projection (measured rebuild cost)",
+    )
+    report = {
+        "schema": "bench-recovery-v1",
+        "seed": SEED,
+        "scale": scale,
+        "workers": WORKERS,
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "indexes": results,
+        "sim_projection": sim_rows,
+    }
+    return table, report
+
+
+def _check(report: dict) -> list:
+    problems = []
+    for row in report["indexes"].values():
+        name = row["name"]
+        if row["mismatch"]:
+            problems.append(
+                f"{name}: recovered answers diverged from the unfailed run"
+            )
+        if row["restarts"] < 1:
+            problems.append(
+                f"{name}: no restart happened (fault injection broken?)"
+            )
+        if not row["degraded_ok"]:
+            problems.append(
+                f"{name}: degraded run returned wrong values on "
+                "surviving shards"
+            )
+        if row["degraded_available"] != [True, False]:
+            problems.append(
+                f"{name}: expected shard 1 down in partial mode, "
+                f"got availability {row['degraded_available']}"
+            )
+        if not row["degraded_write_raised"]:
+            problems.append(
+                f"{name}: write into the lost range did not raise "
+                "ShardUnavailableError"
+            )
+        if row["degraded_served_ops"] == 0:
+            problems.append(f"{name}: partial mode served nothing")
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke scale (30K keys)"
+    )
+    parser.add_argument("--out", default="", help="write JSON results here")
+    parser.add_argument(
+        "--span-out",
+        default="",
+        help="write the recovery run's span forest as Chrome trace JSON",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless recovery happened, answers stayed "
+        "bit-identical, and partial mode kept serving",
+    )
+    args = parser.parse_args()
+
+    table, report = run_recovery(
+        scale=QUICK if args.quick else FULL, span_out=args.span_out
+    )
+    write_result("bench_recovery", table, data=report)
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[saved to {args.out}]")
+
+    if args.check:
+        problems = _check(report)
+        if problems:
+            print("FAIL: " + "; ".join(problems), file=sys.stderr)
+            return 1
+        print(
+            "check ok: recovery exact, restart counted, partial mode served"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

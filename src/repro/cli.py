@@ -129,6 +129,9 @@ def _build_store(
     trace_rate: float = 0.0,
     span_rate: float = 0.0,
     stall_threshold_s: float = 5.0,
+    restart_budget: int = 0,
+    worker_timeout_s=None,
+    degraded: str = "fail",
 ):
     """One ViperStore, K in-process shards, or N worker processes.
 
@@ -140,6 +143,11 @@ def _build_store(
     unchanged; wall-clock rows are what the extra processes buy.
     ``span_rate > 0`` additionally records causal span trees
     (:mod:`repro.obs.spans`) across the parent and all workers.
+    ``restart_budget``/``worker_timeout_s``/``degraded`` configure the
+    supervision loop (:mod:`repro.concurrency.supervise`): dead or
+    deadline-overrunning workers are respawned, rebuilt, and their
+    in-flight command replayed up to the budget before the engine
+    degrades.
     """
     if workers > 1:
         return parallel_sharded_store(
@@ -150,6 +158,9 @@ def _build_store(
             trace_rate=trace_rate,
             span_rate=span_rate,
             stall_threshold_s=stall_threshold_s,
+            restart_budget=restart_budget,
+            worker_timeout_s=worker_timeout_s,
+            degraded=degraded,
         )
     if shards > 1:
         return ShardedStore(spec.build, shards, perf=perf)
@@ -317,6 +328,8 @@ def _worker_balance_table(store: ParallelShardedStore) -> str:
 
 
 def _worker_health_table(store: ParallelShardedStore) -> str:
+    avail = store.availability()
+    restarts = store.supervisor.restarts_used
     body = [
         [
             row["worker"],
@@ -329,14 +342,26 @@ def _worker_health_table(store: ParallelShardedStore) -> str:
                 else "-"
             ),
             f"{row['stalls']:,}" + (" (stalled)" if row["stalled"] else ""),
+            f"{restarts[row['worker']]:,}",
+            "up" if avail[row["worker"]] else "DOWN",
         ]
         for row in store.health.snapshot()
     ]
     return format_table(
-        ["worker", "sent", "done", "busy ms", "last reply", "stalls"],
+        [
+            "worker",
+            "sent",
+            "done",
+            "busy ms",
+            "last reply",
+            "stalls",
+            "restarts",
+            "shard",
+        ],
         body,
         title=f"Worker health ({store.workers} processes, stall threshold "
-        f"{store.health.stall_threshold_s:g}s)",
+        f"{store.health.stall_threshold_s:g}s, restart budget "
+        f"{store.supervisor.restart_budget})",
     )
 
 
@@ -344,7 +369,7 @@ def _span_report(all_spans, quantile: float) -> str:
     """Span summary + tail-latency attribution over the wall-clock trees."""
     summary = summarize_spans(all_spans)
     body = []
-    for kind in ("request", "batch", "shard", "worker", "event"):
+    for kind in ("request", "batch", "shard", "worker", "recovery", "event"):
         agg = summary.get(kind)
         if agg:
             body.append(
@@ -394,7 +419,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
 
     perf = PerfContext()
-    store = _build_store(spec, perf, args.shards, args.workers)
+    store = _build_store(
+        spec,
+        perf,
+        args.shards,
+        args.workers,
+        restart_budget=args.restart_budget,
+        worker_timeout_s=args.worker_timeout,
+        degraded=args.degraded,
+    )
     parallel = isinstance(store, ParallelShardedStore)
     try:
         mark = perf.begin()
@@ -516,6 +549,9 @@ def cmd_report(args: argparse.Namespace) -> int:
         trace_rate=args.sample,
         span_rate=args.span_sample if args.spans else 0.0,
         stall_threshold_s=args.stall_threshold,
+        restart_budget=args.restart_budget,
+        worker_timeout_s=args.worker_timeout,
+        degraded=args.degraded,
     )
     parallel = isinstance(store, ParallelShardedStore)
     if args.top and parallel:
@@ -795,6 +831,33 @@ def _add_concurrency_flags(sub_parser: argparse.ArgumentParser) -> None:
         help="serve through N real worker processes (one range partition "
         "each, shared-memory op transport); simulated numbers are "
         "unchanged, wall-clock throughput scales with cores",
+    )
+    sub_parser.add_argument(
+        "--restart-budget",
+        type=int,
+        default=0,
+        help="recovery attempts per worker before the engine degrades: a "
+        "dead (or timed-out) worker is respawned, its partition rebuilt "
+        "from the retained recipe, and the in-flight command replayed "
+        "exactly once (0 = fail-stop, the previous behaviour)",
+    )
+    sub_parser.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-command deadline; a worker that overruns it is killed "
+        "and handled through the same recovery path as a crash "
+        "(default: no deadline, stall warnings only)",
+    )
+    sub_parser.add_argument(
+        "--degraded",
+        choices=("fail", "partial"),
+        default="fail",
+        help="after the restart budget is exhausted: 'fail' raises "
+        "WorkerDiedError (default), 'partial' keeps serving the "
+        "surviving shards (reads return holes, writes to the lost range "
+        "raise ShardUnavailableError)",
     )
     sub_parser.add_argument(
         "--threads",

@@ -17,6 +17,10 @@ and range-partitioned sharding.
   :class:`ParallelShardedStore`: the same partition executed across
   worker *processes* with shared-memory op transport, turning the
   simulated scaling projections into measured wall-clock numbers.
+* :mod:`repro.concurrency.supervise` — :class:`WorkerSupervisor` and
+  :class:`FaultPlan`: fail-recover supervision for the parallel engine
+  (respawn, rebuild, exactly-once replay, bounded backoff, degraded
+  modes) plus the deterministic fault-injection harness.
 """
 
 from repro.concurrency.spec import (
@@ -26,12 +30,18 @@ from repro.concurrency.spec import (
     LOCK_FREE,
 )
 from repro.concurrency.sim import (
+    FailureModel,
     OpProfile,
     RWLOCK_BOUNCE_NS,
     SimResult,
     make_streams,
     simulate,
     simulate_scaling,
+)
+from repro.concurrency.supervise import (
+    FaultDirective,
+    FaultPlan,
+    WorkerSupervisor,
 )
 from repro.concurrency.sharding import (
     ShardRouter,
@@ -52,9 +62,13 @@ from repro.concurrency.parallel import (
 __all__ = [
     "CC_SCHEMES",
     "ConcurrencySpec",
+    "FailureModel",
+    "FaultDirective",
+    "FaultPlan",
     "GLOBAL_LOCK",
     "LOCK_FREE",
     "OpProfile",
+    "WorkerSupervisor",
     "RWLOCK_BOUNCE_NS",
     "SimResult",
     "make_streams",

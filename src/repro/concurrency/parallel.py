@@ -54,11 +54,29 @@ untouched.  Independently, a :class:`~repro.obs.health.HealthMonitor`
 keeps per-worker heartbeats (piggybacked on every reply), flags stalls
 past a threshold, and feeds each worker's flight-recorder ring into
 :class:`~repro.errors.WorkerDiedError` postmortems.
+
+Fault tolerance
+---------------
+With ``restart_budget > 0`` the engine is fail-*recover* instead of
+fail-stop: a worker that dies (or overruns ``worker_timeout_s``) is
+respawned, its partition rebuilt from the retained bulk part plus an
+ordered journal of acknowledged mutation batches, and the in-flight
+command re-issued exactly once — callers never observe the failure.
+Mutations ship inside idempotent token envelopes ``("tok", t, cmd)``;
+once the budget is spent the engine degrades per ``degraded``:
+``"fail"`` latches broken (the pre-supervision default), ``"partial"``
+serves the surviving shards with ``None`` holes for reads and
+:class:`~repro.errors.ShardUnavailableError` for writes.  See
+:mod:`repro.concurrency.supervise` for the policy and the
+deterministic :class:`~repro.concurrency.supervise.FaultPlan`
+injection harness.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import signal
 import sys
 import time
 import traceback
@@ -78,8 +96,17 @@ from repro.concurrency.sharding import (
     merge_index_stats,
     sharded_index,
 )
+from repro.concurrency.supervise import (
+    DEFAULT_BACKOFF_BASE_S,
+    DEFAULT_BACKOFF_CAP_S,
+    FaultPlan,
+    WorkerSupervisor,
+    _RecoveryFailed,
+    base_op,
+    match_faults,
+)
 from repro.core.interfaces import Index, IndexStats, SortedIndex
-from repro.errors import ReproError, WorkerDiedError
+from repro.errors import ReproError, ShardUnavailableError, WorkerDiedError
 from repro.obs.health import (
     DEFAULT_FLIGHT_CAPACITY,
     DEFAULT_STALL_THRESHOLD_S,
@@ -157,11 +184,16 @@ class _WorkerState:
         from repro.registry import resolve  # deferred: avoids import cycle
 
         self.worker_id = cfg["worker"]
+        # Process generation: 0 for the original worker, +1 per respawn.
+        # Seeds and span-id prefixes are offset by it so a recovered
+        # worker's ids never collide with its dead predecessor's.
+        self.incarnation = cfg.get("incarnation", 0)
         self.perf = PerfContext()
         self.tracer: Optional[Tracer] = None
         if cfg["trace_rate"] > 0.0:
             self.tracer = Tracer(
-                rate=cfg["trace_rate"], seed=cfg["seed"] + self.worker_id
+                rate=cfg["trace_rate"],
+                seed=cfg["seed"] + self.worker_id + 7919 * self.incarnation,
             )
             self.perf.tracer = self.tracer
         self.metrics = MetricsRegistry()
@@ -172,10 +204,15 @@ class _WorkerState:
         # keeps recorders distinct; the prefix keeps ids globally unique.
         self.spans: Optional[SpanRecorder] = None
         if cfg.get("spans"):
+            prefix = f"w{self.worker_id}"
+            if self.incarnation:
+                prefix = f"w{self.worker_id}r{self.incarnation}"
             self.spans = SpanRecorder(
                 rate=1.0,
-                seed=cfg["seed"] + 101 * (self.worker_id + 1),
-                prefix=f"w{self.worker_id}",
+                seed=cfg["seed"]
+                + 101 * (self.worker_id + 1)
+                + 7919 * self.incarnation,
+                prefix=prefix,
                 worker=self.worker_id,
             )
             if self.tracer is not None:
@@ -335,6 +372,11 @@ class _WorkerState:
             self.seg = None
 
 
+#: Reply meta for a mutation whose replay token was already applied
+#: (idempotent-envelope dedup; the parent treats it as a no-op ack).
+DUP_MARKER = "__repro_dup__"
+
+
 def _worker_main(conn, cfg: dict) -> None:
     """Worker process entry: build the shard, then serve until ``close``."""
     try:
@@ -354,19 +396,51 @@ def _worker_main(conn, cfg: dict) -> None:
     )
     served = 0
     busy_ns = 0.0
+    # Fault injection (tests / bench_recovery): scripted directives for
+    # this worker, matched per op name against 1-based serve ordinals.
+    faults = list(cfg.get("fault") or ())
+    incarnation = cfg.get("incarnation", 0)
+    fault_counts: Dict[str, int] = {}
+    # Idempotent replay: highest mutation token applied so far.  Tokens
+    # at or below it are acknowledged without re-applying, so a journal
+    # replay that races a late duplicate can never double-apply.
+    last_token = 0
+
+    def fired(op: str, phase: str) -> list:
+        if not faults:
+            return []
+        return match_faults(faults, incarnation, op, fault_counts[op], phase)
+
     while True:
         try:
             cmd = conn.recv()
         except (EOFError, OSError):
             break
         if cmd[0] == "close":
+            fault_counts["close"] = fault_counts.get("close", 0) + 1
+            if any(d["action"] == "drop" for d in fired("close", "after")):
+                continue  # scripted shutdown-refusal: parent must escalate
             conn.send(("ok", ("obj", None), None, 0.0, (served, busy_ns)))
             break
+        token = None
+        if cmd[0] == "tok":
+            _, token, cmd = cmd
         # Span-context propagation: a traced envelope carries the
         # parent-side shard span id; the worker span nests under it.
         span_ctx = None
         if cmd[0] == "traced":
             _, span_ctx, cmd = cmd
+        op = base_op(cmd[0])
+        fault_counts[op] = fault_counts.get(op, 0) + 1
+        for d in fired(op, "before"):
+            if d["action"] == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+        if token is not None and token <= last_token:
+            served += 1
+            conn.send(
+                ("ok", ("obj", DUP_MARKER), None, 0.0, (served, busy_ns))
+            )
+            continue
         wspan = None
         if state.spans is not None and span_ctx is not None:
             wspan = state.spans.start(
@@ -382,6 +456,14 @@ def _worker_main(conn, cfg: dict) -> None:
                 state.spans.current = None
             conn.send(("err", _pickle_safe(exc), traceback.format_exc()))
             continue
+        if token is not None:
+            last_token = token
+        after = fired(op, "after")
+        for d in after:
+            if d["action"] == "kill":
+                # Applied but unacknowledged: the exactly-once case the
+                # supervisor's rebuild-then-replay must get right.
+                os.kill(os.getpid(), signal.SIGKILL)
         measured = state.perf.end(mark)
         wall_ns = (time.perf_counter() - t0) * 1e9
         if wspan is not None:
@@ -397,6 +479,11 @@ def _worker_main(conn, cfg: dict) -> None:
         delta = {k: v for k, v in measured.counters.as_dict().items() if v}
         served += 1
         busy_ns += wall_ns
+        for d in after:
+            if d["action"] == "delay" and d["delay_s"] > 0:
+                time.sleep(d["delay_s"])
+        if any(d["action"] == "drop" for d in after):
+            continue  # served silently: exercises the parent deadline path
         conn.send(("ok", meta, delta, wall_ns, (served, busy_ns)))
     state.close()
     conn.close()
@@ -428,13 +515,18 @@ def _pickle_safe(exc: BaseException) -> Optional[BaseException]:
 
 
 class _WorkerHandle:
-    __slots__ = ("worker_id", "proc", "conn", "seg")
+    __slots__ = ("worker_id", "proc", "conn", "seg", "pending", "sent_t")
 
     def __init__(self, worker_id, proc, conn, seg):
         self.worker_id = worker_id
         self.proc = proc
         self.conn = conn
         self.seg = seg
+        #: ``(cmd_name, replayable_cmd)`` of the one in-flight command
+        #: (at most one per worker at any time), for supervised re-issue.
+        self.pending: Optional[Tuple[str, tuple]] = None
+        #: ``time.monotonic()`` of the in-flight send (deadline base).
+        self.sent_t: Optional[float] = None
 
 
 def _finalize_pool(handles: List[_WorkerHandle]) -> None:
@@ -442,7 +534,8 @@ def _finalize_pool(handles: List[_WorkerHandle]) -> None:
 
     Registered with ``weakref.finalize`` so segments never leak even if
     the engine is dropped without ``close()``; ``close()`` invokes it
-    after the graceful shutdown handshake.
+    after the graceful shutdown handshake.  Escalates ``terminate`` →
+    ``kill`` and reports any pid that survives both.
     """
     for h in handles:
         if h.proc.is_alive():
@@ -450,6 +543,15 @@ def _finalize_pool(handles: List[_WorkerHandle]) -> None:
     for h in handles:
         if h.proc.is_alive():
             h.proc.join(timeout=5)
+        if h.proc.is_alive():
+            h.proc.kill()
+            h.proc.join(timeout=5)
+        if h.proc.is_alive():  # pragma: no cover - kill-resistant process
+            print(
+                f"[repro] leaked worker process: pid {h.proc.pid} "
+                f"(worker {h.worker_id}) survived terminate+kill",
+                file=sys.stderr,
+            )
         try:
             h.conn.close()
         except OSError:
@@ -489,6 +591,13 @@ class _ParallelEngine:
         store: bool = False,
         record_bytes: int = 208,
         slots_per_page: int = 16,
+        restart_budget: int = 0,
+        worker_timeout_s: Optional[float] = None,
+        degraded: str = "fail",
+        backoff_base_s: float = DEFAULT_BACKOFF_BASE_S,
+        backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
+        fault_plan: Optional[FaultPlan] = None,
+        close_timeout_s: float = 5.0,
     ):
         from repro.registry import resolve  # deferred: avoids import cycle
 
@@ -497,6 +606,10 @@ class _ParallelEngine:
         if transport not in ("auto", "shm", "pipe"):
             raise ReproError(
                 f"transport must be auto/shm/pipe, got {transport!r}"
+            )
+        if worker_timeout_s is not None and worker_timeout_s <= 0:
+            raise ReproError(
+                f"worker_timeout_s must be > 0, got {worker_timeout_s}"
             )
         spec = resolve(spec) if isinstance(spec, str) else spec
         shards = workers if shards is None else max(shards, workers)
@@ -535,14 +648,54 @@ class _ParallelEngine:
             flight_capacity=flight_capacity,
         )
         self._broken_err: Optional[WorkerDiedError] = None
+        #: Engine-side recovery telemetry (restart counters, recovery
+        #: latency histogram, shard-unavailable counters); merged into
+        #: the caller's registry by :meth:`drain_obs`.
+        self.metrics = MetricsRegistry()
+        self._worker_timeout_s = worker_timeout_s
+        self._close_timeout_s = close_timeout_s
+        self._fault_plan = fault_plan
+        #: Per-shard out-of-service mask (``degraded="partial"`` only).
+        self._down = [False] * workers
+        #: Monotone per-worker mutation tokens (idempotent replay).
+        self._tokens = [0] * workers
+        self._incarnations = [0] * workers
+        #: Retained bulk partition per worker — the rebuild recipe.
+        self._base_items: List[Optional[List[Tuple[int, Any]]]] = (
+            [None] * workers
+        )
+        #: Ordered acknowledged mutation batches per worker, as
+        #: ``(token, pipe_cmd)`` — replayed verbatim after a rebuild.
+        self._journal: List[List[Tuple[int, tuple]]] = [
+            [] for _ in range(workers)
+        ]
+        #: Non-None only while a bulk load is in flight: workers whose
+        #: partition a mid-load recovery already rebuilt end-to-end.
+        self._bulk_done: Optional[set] = None
+        self.supervisor = WorkerSupervisor(
+            self,
+            restart_budget=restart_budget,
+            degraded=degraded,
+            backoff_base_s=backoff_base_s,
+            backoff_cap_s=backoff_cap_s,
+        )
 
         methods = multiprocessing.get_all_start_methods()
-        start_method = "fork" if "fork" in methods else "spawn"
-        ctx = multiprocessing.get_context(start_method)
+        self._start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(self._start_method)
         use_shm = transport in ("auto", "shm") and _shm is not None
         # Sub-shard split: worker w owns shards[w] in-process sub-shards
         # so --shards K > --workers N still builds K range partitions.
         base, extra = divmod(shards, workers)
+        self._sub_shards = [
+            base + (1 if w < extra else 0) for w in range(workers)
+        ]
+        self._overrides = overrides
+        self._record_bytes = record_bytes
+        self._slots_per_page = slots_per_page
+        self._trace_rate = trace_rate
+        self._span_on = span_rate > 0.0
+        self._seed = seed
         self._handles: List[_WorkerHandle] = []
         try:
             for w in range(workers):
@@ -557,42 +710,109 @@ class _ParallelEngine:
                         if transport == "shm":
                             raise
                         use_shm = False  # fall back to pipe for the rest
-                cfg = {
-                    "worker": w,
-                    "spec": spec.cli_name,
-                    "overrides": overrides,
-                    "sub_shards": base + (1 if w < extra else 0),
-                    "store": store,
-                    "record_bytes": record_bytes,
-                    "slots_per_page": slots_per_page,
-                    "shm_name": seg.shm.name if seg is not None else None,
-                    "capacity": capacity,
-                    "start_method": start_method,
-                    "trace_rate": trace_rate,
-                    "spans": span_rate > 0.0,
-                    "seed": seed,
-                }
-                parent_conn, child_conn = ctx.Pipe()
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(child_conn, cfg),
-                    daemon=True,
-                    name=f"repro-shard-{w}",
-                )
-                proc.start()
-                child_conn.close()
-                self._handles.append(
-                    _WorkerHandle(w, proc, parent_conn, seg)
-                )
+                self._handles.append(self._spawn_handle(w, seg))
             self._finalizer = weakref.finalize(
                 self, _finalize_pool, self._handles
             )
             for h in self._handles:  # wait for builds; surfaces errors
-                self._recv(h, "build")
+                self._recv(h, "build", recover=False)
         except BaseException:
             _finalize_pool(self._handles)
             raise
         self._shm_on = all(h.seg is not None for h in self._handles)
+
+    # -- worker lifecycle ----------------------------------------------
+
+    def _spawn_handle(self, w: int, seg: Optional[_Segment]) -> _WorkerHandle:
+        """Start one worker process over ``seg`` (shared across respawns)."""
+        cfg = {
+            "worker": w,
+            "spec": self.spec.cli_name,
+            "overrides": self._overrides,
+            "sub_shards": self._sub_shards[w],
+            "store": self._store_mode,
+            "record_bytes": self._record_bytes,
+            "slots_per_page": self._slots_per_page,
+            "shm_name": seg.shm.name if seg is not None else None,
+            "capacity": self._capacity,
+            "start_method": self._start_method,
+            "trace_rate": self._trace_rate,
+            "spans": self._span_on,
+            "seed": self._seed,
+            "incarnation": self._incarnations[w],
+            "fault": (
+                self._fault_plan.for_worker(w) if self._fault_plan else []
+            ),
+        }
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, cfg),
+            daemon=True,
+            name=f"repro-shard-{w}",
+        )
+        proc.start()
+        child_conn.close()
+        return _WorkerHandle(w, proc, parent_conn, seg)
+
+    def _respawn(self, w: int, seg: Optional[_Segment]) -> _WorkerHandle:
+        """Spawn the next incarnation of worker ``w`` and await its build.
+
+        The shared-memory segment is reused: the parent owns it, it
+        survives the worker's death, and any in-flight request payload
+        it holds stays valid for the re-issue.
+        """
+        self._incarnations[w] += 1
+        h = self._spawn_handle(w, seg)
+        self._recv_direct(h)  # ready handshake
+        return h
+
+    def _rebuild_worker(self, h: _WorkerHandle) -> None:
+        """Reconstruct a respawned worker's state: bulk part + journal.
+
+        Uses pipe-form commands only (the shm segment may hold the
+        pending request's payload) and drops the replies' perf deltas —
+        replayed work was already charged when first acknowledged, so
+        recovery leaves the parent's simulated totals bit-identical to
+        an unfailed run.
+        """
+        w = h.worker_id
+        part = self._base_items[w]
+        if part is not None:
+            step = max(1, self._capacity)
+            for lo in range(0, len(part), step):
+                self._send_direct(h, ("bulk_chunk_pipe", part[lo : lo + step]))
+                self._recv_direct(h)
+            self._send_direct(h, ("bulk_end",))
+            self._recv_direct(h)
+        for tok, cmd in self._journal[w]:
+            self._send_direct(h, ("tok", tok, cmd))
+            self._recv_direct(h)
+
+    @staticmethod
+    def _send_direct(h: _WorkerHandle, cmd: tuple) -> None:
+        try:
+            h.conn.send(cmd)
+        except (BrokenPipeError, OSError):
+            raise _RecoveryFailed("send")
+
+    def _recv_direct(self, h: _WorkerHandle):
+        """One reply outside health/perf accounting (recovery path)."""
+        while not h.conn.poll(0.05):
+            if not h.proc.is_alive():
+                raise _RecoveryFailed("recv")
+        try:
+            reply = h.conn.recv()
+        except (EOFError, OSError):
+            raise _RecoveryFailed("recv")
+        if reply[0] == "err":
+            _, exc, tb = reply
+            if exc is not None:
+                raise exc
+            raise ReproError(
+                f"shard worker {h.worker_id} failed during recovery:\n{tb}"
+            )
+        return reply[1]
 
     # -- low-level transport ------------------------------------------
 
@@ -604,18 +824,35 @@ class _ParallelEngine:
                 raise self._broken_err
             raise WorkerDiedError(self._broken)
 
-    def _send(self, h: _WorkerHandle, cmd: tuple) -> None:
-        if cmd[0] == "traced":
-            name, span_id = cmd[2][0], cmd[1]
-        else:
-            name, span_id = cmd[0], None
-        self.health.sent(h.worker_id, name, span_id=span_id)
+    def _send(
+        self, h: _WorkerHandle, cmd: tuple, replay: Optional[tuple] = None
+    ) -> None:
+        """Ship one command; record what a supervised re-issue would send.
+
+        ``replay`` overrides the re-issue form when re-sending ``cmd``
+        verbatim would be wrong (shm ``write_many``: a journal replay
+        during rebuild may clobber the segment's value lane with its
+        reply, so writes record their pipe form).  Send errors are
+        swallowed — every command has exactly one matching ``_recv``,
+        which is where death is detected and recovery decided.
+        """
+        inner = cmd
+        span_id = None
+        if inner[0] == "tok":
+            inner = inner[2]
+        if inner[0] == "traced":
+            span_id = inner[1]
+            inner = inner[2]
+        self.health.sent(h.worker_id, inner[0], span_id=span_id)
+        h.pending = (inner[0], cmd if replay is None else replay)
+        h.sent_t = time.monotonic()
         try:
             h.conn.send(cmd)
         except (BrokenPipeError, OSError):
-            self._died(h, name)
+            pass
 
     def _died(self, h: _WorkerHandle, cmd_name: str):
+        """Unsupervised fail-stop (worker build phase): latch broken."""
         h.proc.join(timeout=1)
         self.health.died(h.worker_id)
         flight = self.health.flight(h.worker_id)
@@ -638,11 +875,31 @@ class _ParallelEngine:
         )
         raise self._broken_err
 
-    def _recv(self, h: _WorkerHandle, cmd_name: str):
-        """One reply; surfaces worker death instead of hanging forever."""
+    def _recv(self, h: _WorkerHandle, cmd_name: str, recover: bool = True):
+        """One reply; surfaces worker death instead of hanging forever.
+
+        With ``recover`` (every post-build command), a death or
+        deadline overrun routes through the supervisor, which either
+        returns the re-issued command's reply — the caller never learns
+        a failure happened — or raises the degradation error.
+        """
+        deadline = None
+        if (
+            recover
+            and self._worker_timeout_s is not None
+            and h.sent_t is not None
+        ):
+            deadline = h.sent_t + self._worker_timeout_s
         while not h.conn.poll(0.05):
             if not h.proc.is_alive():
-                self._died(h, cmd_name)
+                if not recover:
+                    self._died(h, cmd_name)
+                return self.supervisor.handle_failure(h, cmd_name, "died")
+            if deadline is not None and time.monotonic() > deadline:
+                h.proc.kill()
+                h.proc.join(timeout=5)
+                self.health.timeout(h.worker_id)
+                return self.supervisor.handle_failure(h, cmd_name, "timeout")
             if self.health.waiting(h.worker_id):
                 print(
                     f"[repro] shard worker {h.worker_id} stalled: no reply "
@@ -653,7 +910,11 @@ class _ParallelEngine:
         try:
             reply = h.conn.recv()
         except (EOFError, OSError):
-            self._died(h, cmd_name)
+            if not recover:
+                self._died(h, cmd_name)
+            return self.supervisor.handle_failure(h, cmd_name, "died")
+        h.pending = None
+        h.sent_t = None
         if reply[0] == "err":
             _, exc, tb = reply
             self.health.reply(h.worker_id, 0.0, None)
@@ -671,6 +932,17 @@ class _ParallelEngine:
         self.busy_ns[h.worker_id] += wall_ns
         return meta
 
+    # -- degraded-mode accounting --------------------------------------
+
+    def _count_unavailable(self, w: int, n: int) -> None:
+        self.metrics.counter(
+            "repro_shard_unavailable_total", worker=str(w)
+        ).inc(n)
+
+    def availability(self) -> List[bool]:
+        """Per-shard serving mask; ``False`` = degraded out of service."""
+        return [not d for d in self._down]
+
     # -- span plumbing -------------------------------------------------
 
     def _req_span(self, name: str, **attrs) -> Optional[Span]:
@@ -687,9 +959,26 @@ class _ParallelEngine:
             return cmd
         return ("traced", shard_span.span_id, cmd)
 
-    def _call(self, w: int, cmd: tuple):
+    @staticmethod
+    def _degraded_read_default(method: str):
+        if method in ("scan", "range"):
+            return []
+        if method == "contains":
+            return False
+        return None
+
+    def _call(self, w: int, cmd: tuple, mutate: bool = False):
         self._ensure_live()
         name = cmd[1] if cmd[0] == "call" else cmd[0]
+        if self._down[w]:
+            self._count_unavailable(w, 1)
+            if mutate:
+                raise ShardUnavailableError(
+                    f"shard {w} is out of service; cannot apply {name!r}",
+                    worker_id=w,
+                    lost_ops=1,
+                )
+            return self._degraded_read_default(name)
         req = self._req_span(name, worker=w)
         h = self._handles[w]
         sspan = None
@@ -697,8 +986,25 @@ class _ParallelEngine:
             sspan = self.spans.start(
                 f"shard:{w}", "shard", parent=req.span_id, worker=w
             )
-        self._send(h, self._wrap(cmd, sspan))
-        meta = self._recv(h, cmd[0])
+        wrapped = self._wrap(cmd, sspan)
+        tok = None
+        if mutate:
+            self._tokens[w] += 1
+            tok = self._tokens[w]
+            wrapped = ("tok", tok, wrapped)
+        self._send(h, wrapped)
+        try:
+            meta = self._recv(h, cmd[0])
+        except ShardUnavailableError:
+            self._count_unavailable(w, 1)
+            if req is not None:
+                self.spans.finish(sspan)
+                self.spans.finish(req)
+            if mutate:
+                raise
+            return self._degraded_read_default(name)
+        if mutate:
+            self._journal[w].append((tok, cmd))
         if req is not None:
             self.spans.finish(sspan)
             self.spans.finish(req)
@@ -706,9 +1012,16 @@ class _ParallelEngine:
 
     def _broadcast(self, cmd: tuple) -> List[Any]:
         self._ensure_live()
-        for h in self._handles:
+        live = [h for h in self._handles if not self._down[h.worker_id]]
+        for h in live:
             self._send(h, cmd)
-        return [self._recv(h, cmd[0])[1] for h in self._handles]
+        out: List[Any] = []
+        for h in live:
+            try:
+                out.append(self._recv(h, cmd[0])[1])
+            except ShardUnavailableError:
+                continue  # went down mid-broadcast: merge the survivors
+        return out
 
     def _decode_values(self, h: _WorkerHandle, meta, n: int) -> List[Any]:
         if meta[0] == "shm":
@@ -759,15 +1072,19 @@ class _ParallelEngine:
         order, sorted_keys, counts = self._scatter(
             np.asarray(chunk, dtype=np.uint64)
         )
-        active: List[Tuple[_WorkerHandle, int, Optional[Span]]] = []
+        active: List[Tuple[Optional[_WorkerHandle], int, int, Optional[Span]]] = []
         off = 0
         for w, n in enumerate(counts):
             if not n:
                 continue
-            h = self._handles[w]
-            self.worker_ops[w] += n
             piece = sorted_keys[off : off + n]
             off += n
+            if self._down[w]:
+                self._count_unavailable(w, n)
+                active.append((None, w, n, None))
+                continue
+            h = self._handles[w]
+            self.worker_ops[w] += n
             sspan = None
             if batch is not None:
                 sspan = self.spans.start(
@@ -781,13 +1098,23 @@ class _ParallelEngine:
                 self._send(
                     h, self._wrap(("get_many_pipe", piece.tolist()), sspan)
                 )
-            active.append((h, n, sspan))
+            active.append((h, w, n, sspan))
         gathered: List[Any] = []
-        for h, n, sspan in active:
-            meta = self._recv(h, "get_many")
+        for h, w, n, sspan in active:
+            if h is None:  # down shard: degraded None holes
+                gathered.extend([None] * n)
+                continue
+            try:
+                meta = self._recv(h, "get_many")
+            except ShardUnavailableError:
+                self._count_unavailable(w, n)
+                meta = None
             if sspan is not None:
                 self.spans.finish(sspan)
-            gathered.extend(self._decode_values(h, meta, n))
+            if meta is None:
+                gathered.extend([None] * n)
+            else:
+                gathered.extend(self._decode_values(h, meta, n))
         if order is None:
             out[base : base + len(gathered)] = gathered
         else:
@@ -836,13 +1163,25 @@ class _ParallelEngine:
             pending = []
             for (w, rem), members in sorted(groups.items()):
                 t0 = time.perf_counter()
-                h = self._handles[w]
+                if self._down[w]:
+                    # Down shard contributes nothing; scans spill past it
+                    # (a gap in the results, counted per skipped op).
+                    self._count_unavailable(w, len(members))
+                    for i in members:
+                        if w + 1 < self.workers:
+                            pending.append((i, w + 1, rem))
+                    continue
                 if count_ops:
                     self.worker_ops[w] += len(members)
                 runs: List[List[Tuple[int, Any]]] = []
                 step = self._chunk_step(len(members))
                 for lo in range(0, len(members), step):
                     piece = [starts[i] for i in members[lo : lo + step]]
+                    if self._down[w]:  # went down earlier in this group
+                        self._count_unavailable(w, len(piece))
+                        runs.extend([[] for _ in piece])
+                        continue
+                    h = self._handles[w]
                     sspan = None
                     if batch is not None:
                         sspan = self.spans.start(
@@ -861,7 +1200,11 @@ class _ParallelEngine:
                         self._send(
                             h, self._wrap(("scan_many_pipe", piece, rem), sspan)
                         )
-                    runs.extend(self._recv(h, "scan_many")[1])
+                    try:
+                        runs.extend(self._recv(h, "scan_many")[1])
+                    except ShardUnavailableError:
+                        self._count_unavailable(w, len(piece))
+                        runs.extend([[] for _ in piece])
                     if sspan is not None:
                         self.spans.finish(sspan)
                 for i, run in zip(members, runs):
@@ -911,21 +1254,30 @@ class _ParallelEngine:
             chunk if order is None else [chunk[i] for i in order.tolist()]
         )
         shm_ok = self._shm_on and _items_encodable([v for _, v in ordered])
-        active: List[Tuple[_WorkerHandle, int, Optional[Span]]] = []
+        active: List[tuple] = []  # (h|None, w, n, sspan, piece, tok)
+        lost: List[Tuple[int, int]] = []
         off = 0
         for w, n in enumerate(counts):
             if not n:
                 continue
-            h = self._handles[w]
-            self.worker_ops[w] += n
             piece = ordered[off : off + n]
             off += n
+            if self._down[w]:
+                self._count_unavailable(w, n)
+                lost.append((w, n))
+                active.append((None, w, n, None, piece, None))
+                continue
+            h = self._handles[w]
+            self.worker_ops[w] += n
             sspan = None
             if batch is not None:
                 sspan = self.spans.start(
                     f"shard:{w}", "shard", parent=batch.span_id, worker=w,
                     ops=n,
                 )
+            self._tokens[w] += 1
+            tok = self._tokens[w]
+            pipe_cmd = ("write_many_pipe", piece, mode)
             if shm_ok:
                 h.seg.keys[:n] = np.fromiter(
                     (k for k, _ in piece), dtype=np.uint64, count=n
@@ -933,19 +1285,37 @@ class _ParallelEngine:
                 h.seg.vals[:n] = np.fromiter(
                     (v for _, v in piece), dtype=np.uint64, count=n
                 )
-                self._send(h, self._wrap(("write_many", n, mode), sspan))
-            else:
                 self._send(
-                    h, self._wrap(("write_many_pipe", piece, mode), sspan)
+                    h,
+                    ("tok", tok, self._wrap(("write_many", n, mode), sspan)),
+                    replay=("tok", tok, pipe_cmd),
                 )
-            active.append((h, n, sspan))
+            else:
+                self._send(h, ("tok", tok, self._wrap(pipe_cmd, sspan)))
+            active.append((h, w, n, sspan, piece, tok))
         gathered: List[Any] = []
-        for h, n, sspan in active:
-            meta = self._recv(h, "write_many")
+        for h, w, n, sspan, piece, tok in active:
+            if h is None:  # down shard: the batch loses these ops
+                if out is not None:
+                    gathered.extend([None] * n)
+                continue
+            try:
+                meta = self._recv(h, "write_many")
+            except ShardUnavailableError:
+                self._count_unavailable(w, n)
+                lost.append((w, n))
+                meta = None
             if sspan is not None:
                 self.spans.finish(sspan)
+            if meta is not None:
+                self._journal[w].append(
+                    (tok, ("write_many_pipe", piece, mode))
+                )
             if out is not None:
-                gathered.extend(self._decode_values(h, meta, n))
+                if meta is None:
+                    gathered.extend([None] * n)
+                else:
+                    gathered.extend(self._decode_values(h, meta, n))
         if out is not None:
             if order is None:
                 out[base : base + len(gathered)] = gathered
@@ -958,6 +1328,15 @@ class _ParallelEngine:
             self.wall_recorder.record(
                 (time.perf_counter() - t0) * 1e9 / len(chunk)
             )
+        if lost:
+            total = sum(n for _, n in lost)
+            shards = sorted({w for w, _ in lost})
+            raise ShardUnavailableError(
+                f"write batch lost {total} op(s) on out-of-service "
+                f"shard(s) {shards}; surviving shards were applied",
+                worker_id=shards[0],
+                lost_ops=total,
+            )
 
     # -- construction --------------------------------------------------
 
@@ -968,6 +1347,12 @@ class _ParallelEngine:
         contract), so partitioning is a boundary cut, not a scatter.
         """
         self._ensure_live()
+        if any(self._down):
+            down = [w for w, d in enumerate(self._down) if d]
+            raise ShardUnavailableError(
+                f"cannot bulk load while shard(s) {down} are out of service",
+                worker_id=down[0],
+            )
         items = list(items)
         req = self._req_span("bulk_load", ops=len(items))
         self.router = ShardRouter.from_keys(
@@ -982,56 +1367,72 @@ class _ParallelEngine:
             cuts.append(bisect_left(keys, b))
         cuts.append(len(items))
         parts = [items[cuts[w] : cuts[w + 1]] for w in range(self.workers)]
-        # Ship chunks round-robin (one in flight per worker), then issue
-        # bulk_end to all workers at once so the builds run concurrently.
-        step = self._capacity if self._shm_on else max(len(items), 1)
-        offsets = [0] * self.workers
-        while True:
-            active = []
-            for w, part in enumerate(parts):
-                if offsets[w] >= len(part):
+        # Retain the rebuild recipe: a recovery rebuilds worker w from
+        # parts[w] + its (now reset) mutation journal.  A death while
+        # shipping rebuilds the *whole* part and marks w done below.
+        self._base_items = parts
+        self._journal = [[] for _ in range(self.workers)]
+        self._bulk_done = set()
+        try:
+            # Ship chunks round-robin (one in flight per worker), then
+            # issue bulk_end to all workers at once so builds overlap.
+            step = self._capacity if self._shm_on else max(len(items), 1)
+            offsets = [0] * self.workers
+            while True:
+                active = []
+                for w, part in enumerate(parts):
+                    if w in self._bulk_done or offsets[w] >= len(part):
+                        continue
+                    piece = part[offsets[w] : offsets[w] + step]
+                    offsets[w] += len(piece)
+                    h = self._handles[w]
+                    sspan = None
+                    if req is not None:
+                        sspan = self.spans.start(
+                            f"shard:{w}", "shard", parent=req.span_id,
+                            worker=w, ops=len(piece),
+                        )
+                    if self._shm_on and _items_encodable(
+                        [v for _, v in piece]
+                    ):
+                        n = len(piece)
+                        h.seg.keys[:n] = np.fromiter(
+                            (k for k, _ in piece), dtype=np.uint64, count=n
+                        )
+                        h.seg.vals[:n] = np.fromiter(
+                            (v for _, v in piece), dtype=np.uint64, count=n
+                        )
+                        self._send(h, self._wrap(("bulk_chunk", n), sspan))
+                    else:
+                        self._send(
+                            h, self._wrap(("bulk_chunk_pipe", piece), sspan)
+                        )
+                    active.append((h, sspan))
+                if not active:
+                    break
+                for h, sspan in active:
+                    self._recv(h, "bulk_chunk")
+                    if sspan is not None:
+                        self.spans.finish(sspan)
+            enders = []
+            for w in range(self.workers):
+                if w in self._bulk_done:
                     continue
-                piece = part[offsets[w] : offsets[w] + step]
-                offsets[w] += len(piece)
                 h = self._handles[w]
                 sspan = None
                 if req is not None:
                     sspan = self.spans.start(
                         f"shard:{w}", "shard", parent=req.span_id, worker=w,
-                        ops=len(piece),
+                        build=True,
                     )
-                if self._shm_on and _items_encodable([v for _, v in piece]):
-                    n = len(piece)
-                    h.seg.keys[:n] = np.fromiter(
-                        (k for k, _ in piece), dtype=np.uint64, count=n
-                    )
-                    h.seg.vals[:n] = np.fromiter(
-                        (v for _, v in piece), dtype=np.uint64, count=n
-                    )
-                    self._send(h, self._wrap(("bulk_chunk", n), sspan))
-                else:
-                    self._send(h, self._wrap(("bulk_chunk_pipe", piece), sspan))
-                active.append((h, sspan))
-            if not active:
-                break
-            for h, sspan in active:
-                self._recv(h, "bulk_chunk")
+                self._send(h, self._wrap(("bulk_end",), sspan))
+                enders.append((h, sspan))
+            for h, sspan in enders:
+                self._recv(h, "bulk_end")
                 if sspan is not None:
                     self.spans.finish(sspan)
-        build_spans = []
-        for w, h in enumerate(self._handles):
-            sspan = None
-            if req is not None:
-                sspan = self.spans.start(
-                    f"shard:{w}", "shard", parent=req.span_id, worker=w,
-                    build=True,
-                )
-            self._send(h, self._wrap(("bulk_end",), sspan))
-            build_spans.append(sspan)
-        for h, sspan in zip(self._handles, build_spans):
-            self._recv(h, "bulk_end")
-            if sspan is not None:
-                self.spans.finish(sspan)
+        finally:
+            self._bulk_done = None
         if req is not None:
             self.spans.finish(req)
 
@@ -1061,6 +1462,10 @@ class _ParallelEngine:
                 profiler.absorb(p["profiler_counters"], p["profiler_ops"])
             if spans is not None:
                 spans.absorb(p.get("spans", ()))
+        # Engine-side recovery telemetry (restarts, recovery latency,
+        # shard-unavailable counts) lives in the parent, not a worker.
+        if metrics is not None:
+            metrics.merge_from(self.metrics)
         return payloads
 
     def worker_utilization(self) -> List[float]:
@@ -1072,7 +1477,12 @@ class _ParallelEngine:
 
     def close(self) -> None:
         """Shut the pool down; workers detach and the parent unlinks every
-        shared-memory segment (no leaked ``/dev/shm`` entries)."""
+        shared-memory segment (no leaked ``/dev/shm`` entries).
+
+        A worker that ignores the handshake past ``close_timeout_s`` is
+        escalated ``terminate`` → ``kill``; pids that survive both are
+        reported to stderr instead of silently leaking.
+        """
         if self._closed:
             return
         self._closed = True
@@ -1082,8 +1492,26 @@ class _ParallelEngine:
                     h.conn.send(("close",))
                 except (BrokenPipeError, OSError):
                     pass
+        deadline = time.monotonic() + self._close_timeout_s
         for h in self._handles:
-            h.proc.join(timeout=5)
+            h.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+        laggards = [h for h in self._handles if h.proc.is_alive()]
+        for h in laggards:
+            h.proc.terminate()
+        for h in laggards:
+            h.proc.join(timeout=1)
+        stubborn = [h for h in laggards if h.proc.is_alive()]
+        for h in stubborn:
+            h.proc.kill()
+        for h in stubborn:
+            h.proc.join(timeout=1)
+        leaked = [h.proc.pid for h in stubborn if h.proc.is_alive()]
+        if leaked:  # pragma: no cover - kill-resistant process
+            print(
+                f"[repro] worker process(es) survived close escalation "
+                f"(terminate+kill): pids {leaked}",
+                file=sys.stderr,
+            )
         self._finalizer()
 
     def __enter__(self):
@@ -1133,14 +1561,20 @@ class ParallelShardedIndex(_ParallelEngine, Index):
 
     # writes
     def insert(self, key: int, value: Any) -> None:
-        self._call(self.router.shard_of(key), ("call", "insert", (key, value)))
+        self._call(
+            self.router.shard_of(key),
+            ("call", "insert", (key, value)),
+            mutate=True,
+        )
 
     def insert_many(self, items: Sequence[Tuple[int, Any]]) -> None:
         self._write_many(items, "insert", want_old=False)
 
     def upsert(self, key: int, value: Any) -> Optional[Any]:
         return self._call(
-            self.router.shard_of(key), ("call", "upsert", (key, value))
+            self.router.shard_of(key),
+            ("call", "upsert", (key, value)),
+            mutate=True,
         )
 
     def upsert_many(
@@ -1150,11 +1584,15 @@ class ParallelShardedIndex(_ParallelEngine, Index):
 
     def update(self, key: int, value: Any) -> bool:
         return self._call(
-            self.router.shard_of(key), ("call", "update", (key, value))
+            self.router.shard_of(key),
+            ("call", "update", (key, value)),
+            mutate=True,
         )
 
     def delete(self, key: int) -> bool:
-        return self._call(self.router.shard_of(key), ("call", "delete", (key,)))
+        return self._call(
+            self.router.shard_of(key), ("call", "delete", (key,)), mutate=True
+        )
 
     # metadata
     def size_bytes(self) -> int:
@@ -1247,7 +1685,7 @@ class ParallelShardedStore(_ParallelEngine):
     def put(self, key: int, value: Any) -> None:
         w = self.router.shard_of(key)
         self.worker_ops[w] += 1
-        self._call(w, ("call", "put", (key, value)))
+        self._call(w, ("call", "put", (key, value)), mutate=True)
 
     def put_many(self, items: Sequence[Tuple[int, Any]]) -> None:
         self._write_many(items, "put", want_old=False)
@@ -1255,12 +1693,12 @@ class ParallelShardedStore(_ParallelEngine):
     def update(self, key: int, value: Any) -> bool:
         w = self.router.shard_of(key)
         self.worker_ops[w] += 1
-        return self._call(w, ("call", "update", (key, value)))
+        return self._call(w, ("call", "update", (key, value)), mutate=True)
 
     def delete(self, key: int) -> bool:
         w = self.router.shard_of(key)
         self.worker_ops[w] += 1
-        return self._call(w, ("call", "delete", (key,)))
+        return self._call(w, ("call", "delete", (key,)), mutate=True)
 
     def scan(self, start_key: int, count: int) -> List[Tuple[int, Any]]:
         out: List[Tuple[int, Any]] = []
@@ -1279,7 +1717,17 @@ class ParallelShardedStore(_ParallelEngine):
         return self._scan_many(starts, count, count_ops=True)
 
     def gc(self) -> int:
-        return sum(self._broadcast(("call", "gc", ())))
+        # Per-worker mutating calls (not a broadcast): gc changes store
+        # state, so it must be journaled for post-recovery replay and
+        # must skip out-of-service shards.
+        total = 0
+        for w in range(self.workers):
+            if self._down[w]:
+                continue
+            reclaimed = self._call(w, ("call", "gc", ()), mutate=True)
+            if reclaimed:
+                total += reclaimed
+        return total
 
     def __contains__(self, key: int) -> bool:
         return self._call(

@@ -111,6 +111,35 @@ class OpProfile:
             )
 
 
+@dataclass(frozen=True)
+class FailureModel:
+    """Worker-failure model for fail-recover projection runs.
+
+    Mirrors the parallel engine's supervision loop on the simulated
+    clock: each simulated thread (= worker) fails with exponentially
+    distributed inter-failure times of mean ``mtbf_ns``, then spends
+    ``rebuild_ns`` respawning and rebuilding its partition before it can
+    serve again.  Operations that land during a rebuild wait it out —
+    the same stall a real client sees while the supervisor replays the
+    in-flight command.  Failure draws come from their own per-thread
+    RNGs, so attaching a model never perturbs the baseline event
+    schedule (the determinism contract the simulator pins).
+    """
+
+    #: Mean time between failures of one worker, simulated ns.
+    mtbf_ns: float
+    #: Respawn + partition-rebuild + replay cost per failure, simulated ns.
+    rebuild_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mtbf_ns <= 0:
+            raise ValueError(f"mtbf_ns must be positive, got {self.mtbf_ns}")
+        if self.rebuild_ns < 0:
+            raise ValueError(
+                f"rebuild_ns must be >= 0, got {self.rebuild_ns}"
+            )
+
+
 @dataclass
 class SimResult:
     """Everything one simulation run produces."""
@@ -135,6 +164,10 @@ class SimResult:
     counters: Counters = field(default_factory=Counters)
     #: Bandwidth slowdown factor applied to every service time.
     bandwidth_slowdown: float = 1.0
+    #: Worker failures fired by the :class:`FailureModel` (0 without one).
+    failures: int = 0
+    #: Total time operations spent waiting out worker rebuilds.
+    recovery_stall_ns: float = 0.0
     #: Per-op schedule ``(thread, start_ns, end_ns)`` in completion
     #: order, kept when ``simulate(..., keep_schedule=True)``.
     schedule: Optional[List[Tuple[int, float, float]]] = None
@@ -157,6 +190,12 @@ class SimResult:
     def retrain_stall_share(self) -> float:
         busy = self.makespan_ns * self.threads
         return self.retrain_stall_ns / busy if busy > 0 else 0.0
+
+    @property
+    def recovery_stall_share(self) -> float:
+        """Fraction of total thread-time lost to worker rebuilds."""
+        busy = self.makespan_ns * self.threads
+        return self.recovery_stall_ns / busy if busy > 0 else 0.0
 
 
 def _service_times(profile: OpProfile) -> Tuple[float, float]:
@@ -184,6 +223,7 @@ def simulate(
     index_name: str = "",
     keep_schedule: bool = False,
     spans: Optional[SpanRecorder] = None,
+    failure: Optional[FailureModel] = None,
 ) -> SimResult:
     """Run ``streams`` (one list of ops per thread) to completion.
 
@@ -205,6 +245,14 @@ def simulate(
       every ``retrain_every``-th write extends its hold by the retrain
       stall and blocks the *whole structure*; ops that arrive during the
       stall wait it out (``RETRAIN_STALL`` wait accounting).
+
+    A ``failure`` model (:class:`FailureModel`) treats each thread as a
+    parallel-engine worker with the given MTBF: when a thread's next
+    failure time passes, its current operation waits out the remaining
+    rebuild window (``WORKER_RESTART`` emitted on the sim clock with the
+    rebuild cost), modeling the supervisor's respawn-rebuild-replay
+    cycle.  Failure draws use dedicated per-thread RNGs, so the baseline
+    schedule with ``failure=None`` is untouched.
 
     A ``tracer`` (an :class:`repro.obs.trace.Tracer`) receives
     ``LATCH_WAIT`` / ``RETRAIN_STALL`` lifecycle events timestamped on
@@ -266,6 +314,19 @@ def simulate(
     )
 
     rngs = [random.Random(seed * 9_176_923 + t) for t in range(threads)]
+    # Failure state lives in its own RNG stream: the baseline draws
+    # above are byte-identical with or without a model attached.
+    failures = 0
+    recovery_stall = 0.0
+    next_fail: List[float] = []
+    if failure is not None:
+        frngs = [
+            random.Random(seed * 7_919_113 + 31 * t) for t in range(threads)
+        ]
+        next_fail = [
+            frngs[t].expovariate(1.0 / failure.mtbf_ns)
+            for t in range(threads)
+        ]
     # (ready_ns, tie, thread, op_index); the tie counter makes heap order
     # total, so equal-time events pop in a deterministic sequence.
     tie = 0
@@ -284,6 +345,38 @@ def simulate(
         op_events: List[tuple] = []
         if spans is not None and spans.sample():
             rspan = spans.next_id()
+
+        # Worker failure(s) due before this op: each costs a rebuild
+        # window; the op waits out whatever part of it is still ahead.
+        if failure is not None:
+            while now >= next_fail[t]:
+                recover_at = next_fail[t] + failure.rebuild_ns
+                failures += 1
+                if recover_at > now:
+                    waited = recover_at - now
+                    recovery_stall += waited
+                    now = recover_at
+                    if rspan is not None:
+                        op_events.append(
+                            (
+                                "event:worker_restart",
+                                now,
+                                waited,
+                                {"reason": "rebuild"},
+                            )
+                        )
+                if tracer is not None:
+                    tracer.emit(
+                        EventType.WORKER_RESTART,
+                        recover_at,
+                        index=index_name,
+                        leaf=t,
+                        reason="mtbf",
+                        cost_ns=failure.rebuild_ns,
+                    )
+                next_fail[t] = recover_at + frngs[t].expovariate(
+                    1.0 / failure.mtbf_ns
+                )
 
         # Blocking retrain in progress: everyone waits it out.
         if now < blocked_until:
@@ -429,6 +522,8 @@ def simulate(
         retries=retries,
         counters=counters,
         bandwidth_slowdown=slowdown,
+        failures=failures,
+        recovery_stall_ns=recovery_stall,
         schedule=schedule,
     )
 
@@ -445,6 +540,7 @@ def simulate_scaling(
     tracer=None,
     index_name: str = "",
     spans: Optional[SpanRecorder] = None,
+    failure: Optional[FailureModel] = None,
 ) -> List[SimResult]:
     """One :func:`simulate` run per thread count, shared streams prefix.
 
@@ -465,6 +561,7 @@ def simulate_scaling(
             tracer=tracer,
             index_name=index_name,
             spans=spans,
+            failure=failure,
         )
         for t in threads
     ]

@@ -177,6 +177,14 @@ class HealthMonitor:
             wh.in_flight.status = "died"
             wh.in_flight = None
 
+    def timeout(self, worker: int) -> None:
+        """Mark the in-flight command as having overrun its deadline (the
+        engine killed the worker; supervision decides what happens next)."""
+        wh = self.workers[worker]
+        if wh.in_flight is not None:
+            wh.in_flight.status = "timeout"
+            wh.in_flight = None
+
     # -- queries -------------------------------------------------------
 
     def flight(self, worker: int) -> List[FlightEntry]:

@@ -50,6 +50,17 @@ class EventType:
     #: A simulated thread stalled behind a blocking retrain (XIndex /
     #: FINEdex style); ``cost_ns`` carries the stall.
     RETRAIN_STALL = "retrain_stall"
+    #: A parallel-engine worker (or simulated worker) died/timed out and
+    #: a respawn was started; ``leaf`` is the worker id, ``reason`` is
+    #: ``"died"``/``"timeout"``, ``cost_ns`` the projected rebuild cost
+    #: when emitted by the simulator's failure model.
+    WORKER_RESTART = "worker_restart"
+    #: The respawned worker finished rebuild + replay and resumed
+    #: serving; ``cost_ns`` carries the measured recovery wall ns.
+    WORKER_RECOVERED = "worker_recovered"
+    #: A worker exhausted its restart budget and its shard left service
+    #: (``degraded="partial"``); ``leaf`` is the worker id.
+    WORKER_DOWN = "worker_down"
 
     ALL = (
         RETRAIN,
@@ -61,6 +72,9 @@ class EventType:
         FIT_REJECT,
         LATCH_WAIT,
         RETRAIN_STALL,
+        WORKER_RESTART,
+        WORKER_RECOVERED,
+        WORKER_DOWN,
     )
 
 

@@ -210,3 +210,73 @@ class TestScaling:
             make_streams(2, 10, 1.5)
         with pytest.raises(ValueError):
             OpProfile(mean_ns=0.0, p999_ns=1.0, bytes_per_op=1.0)
+
+
+class TestFailureModel:
+    """The worker-failure model: fail-recover on the simulated clock."""
+
+    def _fm(self, mtbf_ns=50_000.0, rebuild_ns=20_000.0):
+        from repro.concurrency import FailureModel
+
+        return FailureModel(mtbf_ns=mtbf_ns, rebuild_ns=rebuild_ns)
+
+    def test_validation(self):
+        from repro.concurrency import FailureModel
+
+        with pytest.raises(ValueError):
+            FailureModel(mtbf_ns=0.0)
+        with pytest.raises(ValueError):
+            FailureModel(mtbf_ns=1.0, rebuild_ns=-1.0)
+
+    def test_baseline_schedule_untouched_without_model(self):
+        a = run(ConcurrencySpec(), 4, 0.3)
+        b = run(ConcurrencySpec(), 4, 0.3, failure=None)
+        assert a.makespan_ns == b.makespan_ns
+        assert a.failures == 0 and a.recovery_stall_ns == 0.0
+
+    def test_failures_fire_and_stall(self):
+        base = run(ConcurrencySpec(), 4, 0.0)
+        failed = run(ConcurrencySpec(), 4, 0.0, failure=self._fm())
+        assert failed.failures > 0
+        assert failed.recovery_stall_ns > 0.0
+        assert failed.makespan_ns > base.makespan_ns
+        assert 0.0 < failed.recovery_stall_share < 1.0
+        # Throughput strictly degrades under failures.
+        assert failed.throughput_mops < base.throughput_mops
+
+    def test_deterministic_given_seed(self):
+        a = run(ConcurrencySpec(), 4, 0.2, failure=self._fm())
+        b = run(ConcurrencySpec(), 4, 0.2, failure=self._fm())
+        assert a.failures == b.failures
+        assert a.makespan_ns == b.makespan_ns
+        assert a.recovery_stall_ns == b.recovery_stall_ns
+
+    def test_rarer_failures_hurt_less(self):
+        often = run(ConcurrencySpec(), 2, 0.0, failure=self._fm(30_000.0))
+        rare = run(
+            ConcurrencySpec(), 2, 0.0, failure=self._fm(3_000_000.0)
+        )
+        assert often.failures > rare.failures
+        assert often.recovery_stall_ns >= rare.recovery_stall_ns
+
+    def test_restart_events_on_sim_clock(self):
+        tracer = Tracer()
+        result = run(
+            ConcurrencySpec(), 3, 0.0, failure=self._fm(), tracer=tracer
+        )
+        assert tracer.count(EventType.WORKER_RESTART) == result.failures
+        restarts = [
+            r for r in tracer.records
+            if r.etype == EventType.WORKER_RESTART
+        ]
+        assert restarts
+        assert all(0 <= r.leaf < 3 for r in restarts)
+        assert all(r.cost_ns == 20_000.0 for r in restarts)
+        assert all(r.ts_ns <= result.makespan_ns for r in restarts)
+
+    def test_scaling_passthrough(self):
+        curve = simulate_scaling(
+            ConcurrencySpec(), LIGHT, (1, 2), ops_per_thread=300,
+            seed=7, failure=self._fm(),
+        )
+        assert all(r.failures > 0 for r in curve)

@@ -416,3 +416,333 @@ def test_health_monitor_tracks_live_engine():
         assert all(engine.health.flight(w) for w in range(2))
     finally:
         engine.close()
+
+
+# --------------------------------------------------------- fault injection
+#
+# The supervision layer (repro.concurrency.supervise) converts the
+# fail-stop contract above into fail-recover: a killed (or deadline-
+# overrunning) worker is respawned, its partition rebuilt from the
+# retained recipe + acknowledged-mutation journal, and the in-flight
+# command replayed exactly once.  The contract under test: results after
+# recovery are bit-identical to a run where nothing failed.
+
+from repro.concurrency import FaultPlan  # noqa: E402
+from repro.errors import ShardUnavailableError  # noqa: E402
+
+
+def _btree():
+    return next(s for s in specs() if s.name == "BTree")
+
+
+def _unfailed_reference(items, probe, writes, scan_start):
+    flat = _btree().build(PerfContext())
+    flat.bulk_load(items)
+    reads = flat.get_many(probe)
+    old = [flat.get(k) for k, _ in writes]
+    for k, v in writes:
+        flat.upsert(k, v)
+    after = flat.get_many(probe)
+    scan = flat.scan(scan_start, 80)
+    # Scan starts spanning both range partitions, so batch scans reach
+    # worker 1 (where the faults are scripted).
+    srt = sorted(k for k, _ in items)
+    starts = [srt[i] for i in (3, 150, 260, 350, 450, 495)]
+    scans = [flat.scan(s, 40) for s in starts]
+    return {
+        "reads": reads, "old": old, "after": after, "scan": scan,
+        "scan_starts": starts, "scans": scans,
+    }
+
+
+FAULT_KILL_OPS = {
+    "read": "get_many",
+    "write": "write_many",
+    "scan": "scan_many",
+}
+
+
+@pytest.mark.parametrize("budget", (1, 3))
+@pytest.mark.parametrize("degraded", ("fail", "partial"))
+@pytest.mark.parametrize("during", sorted(FAULT_KILL_OPS))
+def test_kill_matrix_recovers_bit_identical(during, degraded, budget):
+    """Kill worker 1 during a read/write/scan; with budget left the
+    engine must recover and answer exactly like an unfailed run, in
+    both degraded modes (the mode only matters once the budget is
+    gone)."""
+    load, extra = _keys()
+    items = [(k, k * 3) for k in load]
+    probe = list(load) + list(extra)
+    writes = [(k, k + 7) for k in sorted(load)[::5]]
+    scan_start = sorted(load)[3]
+    ref = _unfailed_reference(items, probe, writes, scan_start)
+
+    plan = FaultPlan().kill(1, op=FAULT_KILL_OPS[during], nth=1)
+    engine = parallel_sharded_index(
+        _btree(), 2, restart_budget=budget, degraded=degraded,
+        backoff_base_s=0.0, fault_plan=plan,
+    )
+    try:
+        engine.bulk_load(items)
+        assert engine.get_many(probe) == ref["reads"]
+        assert engine.upsert_many(writes) == ref["old"]
+        assert engine.get_many(probe) == ref["after"]
+        assert engine.scan(scan_start, 80) == ref["scan"]
+        assert engine.scan_many(ref["scan_starts"], 40) == ref["scans"]
+        # Exactly one recovery, fully recovered: shard back in service.
+        assert engine.supervisor.restarts_used == [0, 1]
+        assert engine.availability() == [True, True]
+        assert engine.supervisor.last_recovery_s[1] > 0
+    finally:
+        engine.close()
+
+
+@pytest.mark.parametrize("during", sorted(FAULT_KILL_OPS))
+def test_kill_matrix_budget_zero_fail_mode(during):
+    """budget=0 + degraded='fail' is the legacy fail-stop contract."""
+    load, extra = _keys()
+    items = [(k, k * 3) for k in load]
+    plan = FaultPlan().kill(1, op=FAULT_KILL_OPS[during], nth=1)
+    engine = parallel_sharded_index(
+        _btree(), 2, restart_budget=0, fault_plan=plan
+    )
+    try:
+        engine.bulk_load(items)
+        with pytest.raises(WorkerDiedError) as err:
+            engine.get_many(list(load) + list(extra))
+            engine.upsert_many([(k, k + 7) for k in load])
+            srt = sorted(load)
+            engine.scan_many([srt[i] for i in (3, 260, 450)], 40)
+        assert "worker 1" in str(err.value)
+        assert err.value.restarts == 0
+        assert err.value.restart_budget == 0
+        # Latched broken, like before supervision existed.
+        with pytest.raises(WorkerDiedError):
+            engine.get_many(load[:5])
+    finally:
+        engine.close()
+
+
+def test_kill_budget_zero_partial_mode_serves_survivors():
+    load, extra = _keys()
+    items = [(k, k * 3) for k in load]
+    probe = sorted(load)
+    plan = FaultPlan().kill(1, op="get_many", nth=1)
+    engine = parallel_sharded_index(
+        _btree(), 2, restart_budget=0, degraded="partial", fault_plan=plan
+    )
+    try:
+        engine.bulk_load(items)
+        out = engine.get_many(probe)
+        assert engine.availability() == [True, False]
+        # Worker 0's half is exact; worker 1's half is None holes.
+        flat = _btree().build(PerfContext())
+        flat.bulk_load(items)
+        expected = flat.get_many(probe)
+        holes = sum(1 for v in out if v is None)
+        assert 0 < holes < len(probe)
+        assert all(g == e for g, e in zip(out, expected) if g is not None)
+        # Scans spill past the dead shard instead of raising.
+        assert engine.scan(probe[0], 10) == flat.scan(probe[0], 10)[:10]
+        # Writes into the lost range refuse loudly (surviving shards
+        # are still applied before the batch-level error surfaces)...
+        with pytest.raises(ShardUnavailableError) as err:
+            engine.upsert_many([(k, 1) for k in probe])
+        assert err.value.lost_ops > 0
+        # ...but the surviving shard keeps taking both reads and writes.
+        low = probe[:3]
+        engine.upsert_many([(k, 5) for k in low])
+        assert engine.get_many(low) == [5, 5, 5]
+        # Telemetry: the down transition and the holes are counted.
+        metrics = MetricsRegistry()
+        engine.drain_obs(metrics=metrics)
+        names = {
+            name: inst
+            for name, _k, labels, inst in metrics.collect()
+            if name in ("repro_worker_down_total",
+                        "repro_shard_unavailable_total")
+        }
+        assert set(names) == {
+            "repro_worker_down_total", "repro_shard_unavailable_total"
+        }
+    finally:
+        engine.close()
+
+
+def test_kill_after_apply_replays_exactly_once():
+    """The applied-but-unacknowledged write: the worker dies AFTER
+    applying the batch but before replying.  The rebuild must discard
+    the partial application and the replay must land it exactly once —
+    old values and final state bit-identical to an unfailed run."""
+    load, _ = _keys()
+    items = [(k, k) for k in load]
+    writes = [(k, k + 1) for k in sorted(load)]
+    flat = _btree().build(PerfContext())
+    flat.bulk_load(items)
+    expected_old = [flat.get(k) for k, _ in writes]
+    for k, v in writes:
+        flat.upsert(k, v)
+
+    plan = FaultPlan().kill(1, op="write_many", nth=1, when="after")
+    engine = parallel_sharded_index(
+        _btree(), 2, restart_budget=1, backoff_base_s=0.0, fault_plan=plan
+    )
+    try:
+        engine.bulk_load(items)
+        assert engine.upsert_many(writes) == expected_old
+        assert engine.get_many([k for k, _ in writes]) == [
+            v for _, v in writes
+        ]
+        assert len(engine) == len(flat)
+        assert engine.supervisor.restarts_used[1] == 1
+    finally:
+        engine.close()
+
+
+def test_repeated_kills_walk_the_budget_ladder():
+    """Incarnation-pinned directives script two failures of the same
+    worker; budget 1 exhausts on the second, budget 3 rides both out."""
+    load, _ = _keys()
+    items = [(k, k) for k in load]
+    probe = sorted(load)
+    two_kills = lambda: (  # noqa: E731
+        FaultPlan()
+        .kill(1, op="get_many", nth=1, incarnation=0)
+        .kill(1, op="get_many", nth=1, incarnation=1)
+    )
+
+    engine = parallel_sharded_index(
+        _btree(), 2, restart_budget=1, backoff_base_s=0.0,
+        fault_plan=two_kills(),
+    )
+    try:
+        with pytest.raises(WorkerDiedError) as err:
+            engine.bulk_load(items)
+            engine.get_many(probe)
+        assert err.value.restarts == 1
+        assert err.value.restart_budget == 1
+        assert "restart budget exhausted (1/1)" in str(err.value)
+    finally:
+        engine.close()
+
+    flat = _btree().build(PerfContext())
+    flat.bulk_load(items)
+    engine = parallel_sharded_index(
+        _btree(), 2, restart_budget=3, backoff_base_s=0.0,
+        fault_plan=two_kills(),
+    )
+    try:
+        engine.bulk_load(items)
+        assert engine.get_many(probe) == flat.get_many(probe)
+        assert engine.supervisor.restarts_used[1] == 2
+    finally:
+        engine.close()
+
+
+def test_drop_reply_hits_deadline_and_recovers():
+    """A worker that serves but never replies trips the per-command
+    deadline; the parent kills it and routes through the same recovery
+    path (flight recorder says 'timeout', not 'died')."""
+    load, _ = _keys()
+    items = [(k, k) for k in load]
+    plan = FaultPlan().drop_reply(1, op="get_many", nth=1)
+    engine = parallel_sharded_index(
+        _btree(), 2, restart_budget=1, backoff_base_s=0.0,
+        worker_timeout_s=0.5, fault_plan=plan,
+    )
+    try:
+        engine.bulk_load(items)
+        flat = _btree().build(PerfContext())
+        flat.bulk_load(items)
+        assert engine.get_many(sorted(load)) == flat.get_many(sorted(load))
+        assert engine.supervisor.restarts_used == [0, 1]
+        statuses = [e.status for e in engine.health.flight(1)]
+        assert "timeout" in statuses
+    finally:
+        engine.close()
+
+
+def test_recovery_emits_events_metrics_and_spans():
+    load, _ = _keys()
+    items = [(k, k) for k in load]
+    plan = FaultPlan().kill(1, op="get_many", nth=1)
+    engine = parallel_sharded_index(
+        _btree(), 2, restart_budget=1, backoff_base_s=0.0,
+        span_rate=1.0, fault_plan=plan,
+    )
+    tracer = Tracer()
+    engine.perf.tracer = tracer
+    try:
+        engine.bulk_load(items)
+        engine.get_many(sorted(load))
+        assert tracer.counts.get("worker_restart") == 1
+        assert tracer.counts.get("worker_recovered") == 1
+        metrics = MetricsRegistry()
+        engine.drain_obs(metrics=metrics)
+        by_name = {
+            name for name, _k, _labels, _inst in metrics.collect()
+        }
+        assert "repro_worker_restarts_total" in by_name
+        assert "repro_worker_recovery_ns" in by_name
+        # The recovery span tree: recovery root + respawn/rebuild stages.
+        rec = [s for s in engine.spans.spans if s.kind == "recovery"]
+        names = {s.name for s in rec}
+        assert names == {"recovery:1", "recovery:respawn", "recovery:rebuild"}
+        root = next(s for s in rec if s.name == "recovery:1")
+        assert root.attrs["outcome"] == "recovered"
+        assert all(
+            s.parent_id == root.span_id
+            for s in rec if s.name != "recovery:1"
+        )
+    finally:
+        engine.close()
+
+
+def test_close_escalates_to_kill_on_stuck_worker():
+    """A worker that refuses the shutdown command must not wedge
+    close(): the engine escalates terminate -> kill and returns."""
+    load, _ = _keys()
+    plan = FaultPlan().drop_reply(1, op="close", nth=1)
+    engine = parallel_sharded_index(
+        _btree(), 2, close_timeout_s=0.3, fault_plan=plan
+    )
+    engine.bulk_load([(k, k) for k in load])
+    procs = [h.proc for h in engine._handles]
+    t0 = time.monotonic()
+    engine.close()
+    assert time.monotonic() - t0 < 10.0
+    for p in procs:
+        assert not p.is_alive()
+
+
+def test_store_recovery_matches_unfailed_store():
+    """The supervision layer covers the store engine too (string
+    values ride the pipe fallback, exercising journal replay of
+    pipe-form mutations)."""
+    spec = next(s for s in specs() if s.name == "PGM")
+    load, extra = _keys()
+    items = [(k, f"v{k}") for k in load]
+    probe = list(load) + list(extra)
+
+    fresh = [(k, f"n{k}") for k in sorted(extra)]
+    flat = ViperStore(spec.build(PerfContext()), PerfContext())
+    flat.bulk_load(items)
+    flat.put_many(fresh)
+    expected = flat.get_many(probe)
+
+    plan = (
+        FaultPlan()
+        .kill(1, op="write_many", nth=1, when="after")
+        .kill(0, op="get_many", nth=2)
+    )
+    engine = parallel_sharded_store(
+        spec, 2, restart_budget=2, backoff_base_s=0.0, fault_plan=plan
+    )
+    try:
+        engine.bulk_load(items)
+        engine.get_many(probe)
+        engine.put_many(fresh)
+        assert engine.get_many(probe) == expected
+        assert sum(engine.supervisor.restarts_used) == 2
+    finally:
+        engine.close()
